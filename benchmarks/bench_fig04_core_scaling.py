@@ -1,0 +1,78 @@
+"""Paper Fig. 4 — layer scalability diversity and allocation waste.
+
+Fig. 4a: different ResNet-50 convolutions scale differently with cores.
+Fig. 4b: the model-wise fixed grant sits above the layer-wise minimal
+allocation curve — the waste that motivates layer blocks.
+"""
+
+import numpy as np
+from conftest import record
+
+from repro.config import make_rng
+from repro.models.layers import Conv2D
+from repro.compiler.space import ScheduleSpace
+
+#: The four conv layers of paper Fig. 4a.
+_LAYERS = (
+    Conv2D(name="56x56 c64->64 k1", height=56, width=56, in_channels=64,
+           out_channels=64, kernel_h=1, kernel_w=1),
+    Conv2D(name="224x224 c3->64 k7", height=224, width=224, in_channels=3,
+           out_channels=64, kernel_h=7, kernel_w=7, stride=2),
+    Conv2D(name="7x7 c512->1024 k1", height=7, width=7, in_channels=512,
+           out_channels=1024, kernel_h=1, kernel_w=1),
+    Conv2D(name="56x56 c64->64 k3", height=56, width=56, in_channels=64,
+           out_channels=64, kernel_h=3, kernel_w=3),
+)
+
+_CORES = (8, 16, 24, 32, 40, 48, 56)
+
+
+def test_fig4a_speedup_curves(stack, benchmark):
+    def run():
+        curves = {}
+        for layer in _LAYERS:
+            space = ScheduleSpace.for_layer(layer)
+            samples = space.sample_many(300, make_rng(4))
+            best = [min(stack.cost_model.latency(layer, s, c, 0.0)
+                        for s in samples) for c in _CORES]
+            curves[layer.name] = [best[0] / b for b in best]
+        return curves
+
+    curves = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    lines = [f"{'layer':22s}" + "".join(f"{c:>7d}c" for c in _CORES)]
+    for name, speedups in curves.items():
+        lines.append(f"{name:22s}"
+                     + "".join(f"{s:8.2f}" for s in speedups))
+    record("Fig 4a: speedup vs cores (vs 8 cores)", "\n".join(lines))
+
+    finals = [c[-1] for c in curves.values()]
+    # Paper Fig. 4a: speedups between ~2x and ~7.5x at 56 cores, and the
+    # layers differ in how well they scale.
+    assert all(1.2 < s < 7.5 for s in finals)
+    assert max(finals) / min(finals) > 1.05
+
+
+def test_fig4b_allocation_profile(stack, benchmark):
+    def run():
+        return stack.profiles["resnet50"]
+
+    profile = benchmark.pedantic(run, rounds=1, iterations=1)
+    required = np.array(profile.layer_required_cores)
+
+    lines = [
+        f"model-wise fixed grant : {profile.model_cores} cores",
+        f"layer-wise requirement : min={required.min()} "
+        f"p50={np.percentile(required, 50):.0f} "
+        f"p90={np.percentile(required, 90):.0f} max={required.max()}",
+        f"layer-wise average     : {profile.avg_cores} cores "
+        f"(time-weighted Avg_C)",
+        "first 20 layers        : "
+        + " ".join(str(c) for c in required[:20]),
+    ]
+    record("Fig 4b: core allocation, model vs layer", "\n".join(lines))
+
+    # Paper Fig. 4b: requirements vary widely and the model-wise grant is
+    # far from the per-layer minimum for many layers.
+    assert required.max() >= 2 * required.min()
+    assert profile.model_cores >= np.percentile(required, 25)

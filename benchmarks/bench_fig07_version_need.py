@@ -1,0 +1,82 @@
+"""Paper Fig. 7 — how many code versions are enough.
+
+Fig. 7a: performance loss of keeping N versions vs the full per-level
+optimum, as a function of interference level (paper: 1 version loses up
+to ~65%, 5 versions stay within 10%).  Fig. 7b: the distribution of
+versions needed per layer to stay within a loss bound.
+"""
+
+import numpy as np
+from conftest import record
+
+from repro.compiler.multiversion import SinglePassCompiler
+
+
+def _loss_matrix(stack, graph_name, max_versions_range, levels=10):
+    """Per N: average (over layers) relative loss per interference level."""
+    graph = stack.compiled[graph_name].graph
+    budgets = [e.qos_budget_s for e in stack.compiled[graph_name].layers]
+    unique = {}
+    for layer, budget in zip(graph.layers, budgets):
+        unique.setdefault(layer.signature, (layer, budget))
+
+    losses = {n: [] for n in max_versions_range}
+    needed = []
+    for layer, budget in unique.values():
+        compilers = {n: SinglePassCompiler(stack.cost_model, trials=256,
+                                           max_versions=n,
+                                           keep_threshold=1.0, seed=13)
+                     for n in max_versions_range}
+        tables = {n: compilers[n].compile_layer(layer, budget)
+                  for n in max_versions_range}
+        reference = tables[max(max_versions_range)]
+        ref_best = [min(row[li] for row in reference.latency_table)
+                    for li in range(levels)]
+        for n, compiled in tables.items():
+            row = [min(r[li] for r in compiled.latency_table)
+                   / ref_best[li] - 1.0 for li in range(levels)]
+            losses[n].append(row)
+        for n in max_versions_range:
+            worst = max(min(r[li] for r in tables[n].latency_table)
+                        / ref_best[li] for li in range(levels))
+            if worst <= 1.10:
+                needed.append(min(n, tables[n].version_count))
+                break
+        else:
+            needed.append(max(max_versions_range))
+    return losses, needed
+
+
+def test_fig7_version_need(stack, benchmark):
+    versions_range = (1, 2, 3, 4, 5)
+
+    def run():
+        return _loss_matrix(stack, "resnet50", versions_range)
+
+    losses, needed = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    levels = np.linspace(0, 1, 10)
+    lines = [f"{'versions':>9s}" + "".join(f"  I={lv:.1f}" for lv in
+                                           levels[::3])]
+    mean_loss = {}
+    for n in versions_range:
+        matrix = np.array(losses[n])
+        per_level = matrix.mean(axis=0)
+        mean_loss[n] = float(per_level.max())
+        lines.append(f"{n:9d}" + "".join(f"{per_level[i]:7.1%}"
+                                         for i in range(0, 10, 3)))
+    record("Fig 7a: performance loss vs retained versions",
+           "\n".join(lines))
+
+    counts, freqs = np.unique(needed, return_counts=True)
+    dist = "\n".join(f"{c} version(s): {f / len(needed):.0%}"
+                     for c, f in zip(counts, freqs))
+    record("Fig 7b: versions needed for <=10% loss", dist)
+
+    # Paper Fig. 7a: loss shrinks monotonically with more versions and
+    # five versions are close to the full set.
+    assert mean_loss[1] >= mean_loss[3] >= mean_loss[5]
+    assert mean_loss[5] < 0.10
+    assert mean_loss[1] > 0.03
+    # Paper Fig. 7b: the majority of layers need at most three versions.
+    assert sum(1 for n in needed if n <= 3) / len(needed) > 0.5

@@ -1,0 +1,54 @@
+"""Paper Fig. 9 — the parallelism/locality Pareto pipeline, step by step.
+
+Uses the paper's example layer (7x7 input, 832->384 channels, 1x1
+kernel).  Step 1 collects samples, step 2 filters by the QoS-derived
+FLOPS bound, step 3 extracts the dominant (Pareto) implementations.
+"""
+
+from conftest import record
+
+from repro.config import make_rng
+from repro.models.layers import Conv2D
+from repro.compiler.autoscheduler import AutoScheduler, Measured
+from repro.compiler.multiversion import extract_dominant, uniform_pick
+
+_LAYER = Conv2D(name="fig9", height=7, width=7, in_channels=832,
+                out_channels=384, kernel_h=1, kernel_w=1)
+
+
+def test_fig9_pareto_steps(stack, benchmark):
+    searcher = AutoScheduler(stack.cost_model)
+
+    def run():
+        search = searcher.search(_LAYER, trials=512, seed=2)
+        budget = 120e-6  # a generous per-layer budget for this shape
+        qualified = [m for m in search.samples if m.latency_s <= budget]
+        frontier = extract_dominant(qualified)
+        picks = uniform_pick(frontier, 5)
+        return search, qualified, frontier, picks
+
+    search, qualified, frontier, picks = benchmark.pedantic(
+        run, rounds=1, iterations=1)
+
+    lines = [
+        f"step 1 samples     : {search.trials}",
+        f"step 2 QoS-qualified: {len(qualified)} "
+        f"({len(qualified) / search.trials:.0%})",
+        f"step 3 dominant     : {len(frontier)}",
+        f"step 4 picked       : {len(picks)}",
+        "",
+        f"{'blocking':>9s} {'parallelism':>12s} {'latency us':>11s}",
+    ]
+    for m in frontier:
+        mark = "  <-- picked" if m in picks else ""
+        lines.append(f"{m.schedule.blocking_size:9d} {m.parallelism:12d}"
+                     f" {m.latency_s * 1e6:11.2f}{mark}")
+    record("Fig 9: Pareto frontier pipeline", "\n".join(lines))
+
+    # The QoS filter must actually remove something, and the frontier
+    # must trade blocking against parallelism monotonically.
+    assert 0 < len(qualified) < search.trials
+    assert 1 <= len(picks) <= 5
+    ordered = sorted(frontier, key=lambda m: m.schedule.blocking_size)
+    parallelisms = [m.parallelism for m in ordered]
+    assert parallelisms == sorted(parallelisms, reverse=True)

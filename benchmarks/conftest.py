@@ -1,0 +1,59 @@
+"""Shared benchmark fixtures and result reporting.
+
+Every benchmark registers its paper-style result table via
+:func:`record`; tables are printed in the terminal summary (so they
+survive pytest's output capture) and written to ``benchmarks/results/``
+for EXPERIMENTS.md.
+
+Scale knobs (environment variables):
+
+* ``REPRO_BENCH_QUERIES`` — queries per serving simulation (default 150).
+* ``REPRO_BENCH_TRIALS``  — auto-scheduler trials per layer (default 192).
+* ``REPRO_BENCH_TOL``     — capacity-search tolerance in QPS (default 25).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.serving.server import ServingStack
+
+BENCH_QUERIES = int(os.environ.get("REPRO_BENCH_QUERIES", "150"))
+BENCH_TRIALS = int(os.environ.get("REPRO_BENCH_TRIALS", "192"))
+BENCH_TOL = float(os.environ.get("REPRO_BENCH_TOL", "25"))
+
+_RESULTS_DIR = Path(__file__).parent / "results"
+_REPORTS: list[tuple[str, str]] = []
+
+
+def record(title: str, text: str) -> None:
+    """Register a result table for the terminal summary and disk."""
+    _REPORTS.append((title, text))
+    _RESULTS_DIR.mkdir(exist_ok=True)
+    safe = title.lower().replace(" ", "_").replace("/", "-")
+    (_RESULTS_DIR / f"{safe}.txt").write_text(text + "\n")
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    for title, text in _REPORTS:
+        terminalreporter.write_sep("=", title)
+        terminalreporter.write_line(text)
+
+
+@pytest.fixture(scope="session")
+def stack():
+    """The full Table 2 stack, compiled once per benchmark session."""
+    return ServingStack(trials=BENCH_TRIALS, proxy_scenarios=200, seed=0)
+
+
+@pytest.fixture(scope="session")
+def bench_queries():
+    return BENCH_QUERIES
+
+
+@pytest.fixture(scope="session")
+def bench_tolerance():
+    return BENCH_TOL

@@ -1,0 +1,70 @@
+"""A tour of the adaptive compiler (paper Sec. 3.3 + 4.1).
+
+Walks one convolution layer through the whole pipeline:
+
+1. the naive multi-pass search — one auto-scheduler run per interference
+   level (what VELTAIR replaces);
+2. the single-pass multi-version compiler (Alg. 1): QoS filter, Pareto
+   frontier on (blocking, parallelism), uniform pick, redundancy prune;
+3. the resulting version table and how the runtime would switch.
+
+Run:  python examples/adaptive_compilation_tour.py
+"""
+
+from repro.compiler import (
+    AutoScheduler,
+    CostModel,
+    SinglePassCompiler,
+    extract_dominant,
+    multi_pass_search,
+)
+from repro.hardware import THREADRIPPER_3990X
+from repro.models import Conv2D
+
+
+def main() -> None:
+    cost_model = CostModel(THREADRIPPER_3990X)
+    layer = Conv2D(name="conv14x14", height=14, width=14,
+                   in_channels=256, out_channels=256)
+    cores = 32
+    print(f"Layer: {layer}  ({layer.flops / 1e6:.0f} MFLOPs)\n")
+
+    # -- 1. naive multi-pass extension -----------------------------------
+    searcher = AutoScheduler(cost_model)
+    multi = multi_pass_search(searcher, layer, levels=4,
+                              trials_per_pass=512, cores=cores, seed=1)
+    print("Naive multi-pass extension (one search per level):")
+    print(f"  total evaluations: {multi.total_trials}")
+    for level, schedule in zip(multi.levels, multi.schedules):
+        lat_iso = cost_model.latency(layer, schedule, cores, 0.0)
+        lat_hot = cost_model.latency(layer, schedule, cores, 1.0)
+        print(f"  best@I={level:.2f}: blocking={schedule.blocking_size:6d}"
+              f" parallelism={schedule.parallelism:5d}"
+              f"  {lat_iso * 1e6:7.1f}us iso / {lat_hot * 1e6:7.1f}us hot")
+
+    # -- 2. single-pass Alg. 1 -------------------------------------------
+    compiler = SinglePassCompiler(cost_model, trials=512, seed=1)
+    compiled = compiler.compile_layer(layer, qos_budget_s=400e-6)
+    print(f"\nSingle-pass compiler (Alg. 1): {compiled.sample_count} "
+          f"samples, {compiled.dominant_count} on the Pareto frontier, "
+          f"{compiled.version_count} versions kept")
+
+    # -- 3. the shipped version table -------------------------------------
+    print("\nVersion table (latency in us at each interference level):")
+    header = "          " + "".join(f"  I={lv:.1f}" for lv in
+                                    compiled.levels[::3])
+    print(header)
+    for index, row in enumerate(compiled.latency_table):
+        marker = " (static)" if index == compiled.version_for_level[0] \
+            else ""
+        print(f"  version{index}" + "".join(
+            f"{row[li] * 1e6:7.1f}" for li in range(0, len(row), 3))
+            + marker)
+    print("\nRuntime switching: pressure -> version index")
+    print("  " + "  ".join(
+        f"{lv:.1f}->v{compiled.version_index_for(lv)}"
+        for lv in compiled.levels[::2]))
+
+
+if __name__ == "__main__":
+    main()

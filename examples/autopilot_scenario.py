@@ -1,0 +1,57 @@
+"""Auto-piloting scenario from the paper's introduction (Sec. 2.1).
+
+A smart vehicle runs several DNN sub-tasks concurrently on one CPU:
+multi-direction object sensing (Tiny-YOLOv2 per camera), scene
+classification (MobileNet-V2), and a heavier detector for the front
+camera (SSD).  All sub-tasks are latency-critical and share the machine.
+
+The script compares what fraction of frames meet their deadlines under
+naive layer-wise co-location vs VELTAIR.
+
+Run:  python examples/autopilot_scenario.py
+"""
+
+from repro.serving import ServingStack, WorkloadSpec, poisson_queries
+from repro.serving.metrics import summarize
+
+#: Sensor frame rates: two cameras at 30 fps each through the light
+#: detector, scene classification at 30 fps, front detector at 5 fps.
+CAMERA_MIX = WorkloadSpec(name="autopilot", entries=(
+    ("tiny_yolov2", 60.0),
+    ("mobilenet_v2", 30.0),
+    ("ssd_resnet34", 5.0),
+))
+
+
+def main() -> None:
+    print("Compiling the vehicle's model set...")
+    stack = ServingStack(
+        models=["tiny_yolov2", "mobilenet_v2", "ssd_resnet34"],
+        trials=192,
+    )
+    total_fps = sum(weight for _, weight in CAMERA_MIX.entries)
+    print(f"Aggregate sensor load: {total_fps:.0f} inferences/second\n")
+
+    for policy in ("model_fcfs", "layerwise", "veltair_full"):
+        queries = poisson_queries(stack.compiled, CAMERA_MIX, total_fps,
+                                  400, seed=7)
+        completed, engine = stack.run(policy, queries)
+        report = summarize(completed, engine.metrics, total_fps)
+        by_model = {}
+        for query in completed:
+            by_model.setdefault(query.model.name, []).append(
+                query.satisfied)
+        detail = "  ".join(
+            f"{name}={sum(v) / len(v):.0%}"
+            for name, v in sorted(by_model.items()))
+        print(f"{policy:14s} frames in deadline: "
+              f"{report.satisfaction_rate:6.1%}   by task: {detail}")
+
+    print("\nThe heavy front detector and the per-camera detectors "
+          "interfere through the shared LLC; VELTAIR's interference-"
+          "matched code versions and layer blocks keep far more frames "
+          "inside their deadline envelopes than naive co-location.")
+
+
+if __name__ == "__main__":
+    main()

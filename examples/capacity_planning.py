@@ -1,0 +1,39 @@
+"""Capacity planning: how many QPS can this box serve per policy?
+
+An operator's view of the paper's Fig. 12 metric — sweep the offered
+load on the medium mix and find each policy's maximal QPS at a 95% QoS
+satisfaction SLA.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro.serving import MEDIUM_MIX, ServingStack
+from repro.serving.experiments import capacity
+
+
+def main() -> None:
+    print("Compiling the medium-mix models (ResNet-50, GoogLeNet)...")
+    stack = ServingStack(models=["resnet50", "googlenet"], trials=192)
+
+    print(f"Workload: {MEDIUM_MIX.name} mix, Poisson arrivals, "
+          f"QoS 15 ms, SLA = 95% in-deadline\n")
+    results = {}
+    for policy in ("prema", "model_fcfs", "layerwise", "block11",
+                   "veltair_as", "veltair_full"):
+        result = capacity(stack, policy, MEDIUM_MIX, count=150,
+                          tolerance_qps=20, low_qps=10, high_qps=600,
+                          seed=3)
+        results[policy] = result
+        print(f"  {policy:14s} capacity = {result.qps:5.0f} QPS   "
+              f"(latency at capacity: "
+              f"{result.report.average_latency_s * 1e3:6.2f} ms, "
+              f"avg cores {result.report.average_cores_used:4.1f})")
+
+    baseline = results["layerwise"].qps
+    best = results["veltair_full"].qps
+    print(f"\nVELTAIR serves {best / max(baseline, 1):.2f}x the "
+          f"Planaria-style baseline on this box before violating the SLA.")
+
+
+if __name__ == "__main__":
+    main()

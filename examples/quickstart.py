@@ -1,0 +1,45 @@
+"""Quickstart: serve a multi-tenant query stream with VELTAIR.
+
+Builds the serving stack (offline multi-version compilation + profiling +
+proxy fitting), generates a Poisson stream over the MLPerf-style light
+mix, and compares the full VELTAIR scheduler against the Planaria-style
+layer-wise baseline.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.serving import LIGHT_MIX, ServingStack, poisson_queries
+from repro.serving.metrics import summarize
+
+
+def main() -> None:
+    print("Compiling the light-mix models (multi-version, Alg. 1)...")
+    stack = ServingStack(
+        models=["efficientnet_b0", "mobilenet_v2", "tiny_yolov2"],
+        trials=192,
+    )
+    for name, compiled in stack.compiled.items():
+        versions = compiled.version_counts
+        print(f"  {name:18s} {len(compiled):3d} layers, "
+              f"{sum(versions)} compiled versions "
+              f"(max {max(versions)}/layer)")
+
+    qps = 220.0
+    print(f"\nServing 300 queries at {qps:.0f} QPS "
+          f"(Poisson arrivals, QoS per MLPerf Table 2)...")
+    for policy in ("layerwise", "veltair_full"):
+        queries = poisson_queries(stack.compiled, LIGHT_MIX, qps, 300,
+                                  seed=42)
+        completed, engine = stack.run(policy, queries)
+        report = summarize(completed, engine.metrics, qps)
+        print(f"  {policy:14s} "
+              f"QoS satisfaction={report.satisfaction_rate:.1%}  "
+              f"avg latency={report.average_latency_s * 1e3:.2f} ms  "
+              f"conflicts={report.conflict_rate:.1%}")
+
+    print("\nVELTAIR's adaptive blocks + interference-matched code "
+          "versions keep QoS where the fixed baseline collapses.")
+
+
+if __name__ == "__main__":
+    main()

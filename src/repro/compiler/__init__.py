@@ -1,0 +1,35 @@
+"""Compilation substrate: schedule space, cost model, auto-scheduler, and
+the paper's single-pass multi-version compiler (Alg. 1)."""
+
+from repro.compiler.autoscheduler import AutoScheduler, Measured, SearchResult
+from repro.compiler.costmodel import CostBreakdown, CostModel, CostModelParams
+from repro.compiler.interference_aware import (
+    MultiPassResult,
+    default_levels,
+    multi_pass_search,
+)
+from repro.compiler.library import CompiledModel, ModelCompiler
+from repro.compiler.multiversion import (
+    CompiledLayer,
+    SinglePassCompiler,
+    extract_dominant,
+    uniform_pick,
+)
+from repro.compiler.schedule import (
+    Schedule,
+    fit_tiles_to_budget,
+    gemm_traffic_bytes,
+    num_tiles,
+)
+from repro.compiler.space import ScheduleSpace
+from repro.compiler.vendor import VendorLibrary, vendor_schedule
+
+__all__ = [
+    "AutoScheduler", "Measured", "SearchResult",
+    "CostBreakdown", "CostModel", "CostModelParams",
+    "MultiPassResult", "default_levels", "multi_pass_search",
+    "CompiledModel", "ModelCompiler",
+    "CompiledLayer", "SinglePassCompiler", "extract_dominant", "uniform_pick",
+    "Schedule", "fit_tiles_to_budget", "gemm_traffic_bytes", "num_tiles",
+    "ScheduleSpace", "VendorLibrary", "vendor_schedule",
+]

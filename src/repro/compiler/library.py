@@ -1,0 +1,163 @@
+"""Compiled model libraries: per-layer version tables ready for serving.
+
+A :class:`CompiledModel` aligns one :class:`CompiledLayer` with each layer
+of a fused model graph.  :class:`ModelCompiler` drives paper Alg. 1 over a
+whole model, sharing compilation results between layers with identical
+shape signatures (bottleneck stacks repeat the same convolutions many
+times, so this saves most of the tuning cost — as TVM's tuning cache does).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.models.graph import ModelGraph
+from repro.compiler.costmodel import CostModel
+from repro.compiler.multiversion import CompiledLayer, SinglePassCompiler
+from repro.compiler.schedule import Schedule
+
+
+@dataclass(frozen=True)
+class CompiledModel:
+    """A model plus its per-layer multi-version code tables."""
+
+    graph: ModelGraph
+    qos_s: float
+    layers: tuple[CompiledLayer, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.layers) != len(self.graph.layers):
+            raise ValueError(
+                f"{self.graph.name}: {len(self.layers)} compiled layers for "
+                f"{len(self.graph.layers)} graph layers")
+
+    @property
+    def name(self) -> str:
+        return self.graph.name
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def version_for(self, layer_index: int, interference: float) -> Schedule:
+        """Adaptive selection: the version matching a pressure level."""
+        return self.layers[layer_index].version_for(interference)
+
+    def static_version(self, layer_index: int) -> Schedule:
+        """The isolation-optimal version (static-compilation baselines)."""
+        return self.layers[layer_index].static_version()
+
+    @property
+    def version_counts(self) -> list[int]:
+        """Per-layer retained version counts (paper Fig. 14c)."""
+        return [layer.version_count for layer in self.layers]
+
+    @property
+    def total_versions(self) -> int:
+        return sum(self.version_counts)
+
+
+class ModelCompiler:
+    """Compiles whole models through the single-pass compiler.
+
+    Parameters
+    ----------
+    cost_model:
+        Platform-bound latency oracle.
+    single_pass:
+        Optional pre-configured Alg. 1 driver (trials, versions, levels).
+    qos_margin:
+        Fraction of the model QoS handed to the layers; the rest absorbs
+        scheduling overheads (thread spawns, launches, queueing slack).
+    """
+
+    def __init__(self, cost_model: CostModel,
+                 single_pass: SinglePassCompiler | None = None,
+                 qos_margin: float = 0.85,
+                 min_layer_budget_s: float = 40e-6) -> None:
+        if not 0.0 < qos_margin <= 1.0:
+            raise ValueError("qos_margin must be in (0, 1]")
+        if min_layer_budget_s < 0:
+            raise ValueError("min_layer_budget_s must be non-negative")
+        self.cost_model = cost_model
+        self.single_pass = single_pass or SinglePassCompiler(cost_model)
+        self.qos_margin = qos_margin
+        self.min_layer_budget_s = min_layer_budget_s
+        self._cache: dict[tuple, CompiledLayer] = {}
+
+    def _layer_budgets(self, graph: ModelGraph, qos_s: float) -> list[float]:
+        """Op-count-proportional QoS split with a per-layer floor.
+
+        Pure flop-proportional splitting (Alg. 1 line 3) hands tiny
+        layers (pools, classifier heads) budgets below their latency
+        floor, which would demand infinite cores; the floor keeps every
+        layer feasible, with the excess taken proportionally from the
+        layers above the floor.
+        """
+        total = qos_s * self.qos_margin
+        raw = [total * fraction for fraction in graph.op_fractions()]
+        floor = min(self.min_layer_budget_s, total / (2 * len(raw)))
+        floored = [max(b, floor) for b in raw]
+        excess = sum(floored) - total
+        if excess > 0:
+            above = sum(b for b in floored if b > floor)
+            if above > 0:
+                scale = max(0.0, 1.0 - excess / above)
+                floored = [b * scale if b > floor else b for b in floored]
+        return floored
+
+    def compile_model(self, graph: ModelGraph, qos_s: float) -> CompiledModel:
+        """Run Alg. 1 over every layer of a fused model graph.
+
+        The per-layer budget splits the (margin-discounted) model QoS
+        proportionally to layer op count — Alg. 1 line 3 — floored so
+        every layer stays feasible.
+        """
+        if qos_s <= 0:
+            raise ValueError("qos_s must be positive")
+        budgets = self._layer_budgets(graph, qos_s)
+        compiled: list[CompiledLayer] = []
+        for layer, layer_budget in zip(graph.layers, budgets):
+            key = (layer.signature, round(layer_budget, 9))
+            entry = self._cache.get(key)
+            if entry is None:
+                entry = self.single_pass.compile_layer(layer, layer_budget)
+                self._cache[key] = entry
+            elif entry.layer is not layer:
+                # Shared signature: re-point the table at this layer
+                # instance so diagnostics show the right name.
+                entry = CompiledLayer(
+                    layer=layer,
+                    qos_budget_s=entry.qos_budget_s,
+                    levels=entry.levels,
+                    versions=entry.versions,
+                    latency_table=entry.latency_table,
+                    version_for_level=entry.version_for_level,
+                    dominant_count=entry.dominant_count,
+                    sample_count=entry.sample_count,
+                )
+            compiled.append(entry)
+        return CompiledModel(graph=graph, qos_s=qos_s,
+                             layers=tuple(compiled))
+
+    def compile_static(self, graph: ModelGraph, qos_s: float) -> CompiledModel:
+        """Single-version compilation: what a stock Ansor deployment ships.
+
+        Reuses the multi-version tables but pins every layer to its
+        isolation-optimal version — the static-compilation baseline of
+        the paper's evaluation (Planaria/PREMA rows of Table 1).
+        """
+        multi = self.compile_model(graph, qos_s)
+        pinned = []
+        for entry in multi.layers:
+            static_index = entry.version_for_level[0]
+            pinned.append(CompiledLayer(
+                layer=entry.layer,
+                qos_budget_s=entry.qos_budget_s,
+                levels=entry.levels,
+                versions=(entry.versions[static_index],),
+                latency_table=(entry.latency_table[static_index],),
+                version_for_level=tuple(0 for _ in entry.levels),
+                dominant_count=entry.dominant_count,
+                sample_count=entry.sample_count,
+            ))
+        return CompiledModel(graph=graph, qos_s=qos_s, layers=tuple(pinned))

@@ -1,0 +1,14 @@
+"""Hardware substrate: platform specs and synthetic performance counters."""
+
+from repro.hardware.platform import (
+    THREADRIPPER_3990X,
+    CacheSpec,
+    CpuSpec,
+    MemorySpec,
+    threadripper_3990x,
+)
+
+__all__ = [
+    "CacheSpec", "CpuSpec", "MemorySpec",
+    "THREADRIPPER_3990X", "threadripper_3990x",
+]

@@ -1,0 +1,158 @@
+"""CPU platform description used by the cost model and the simulator.
+
+The paper's testbed is an AMD Ryzen Threadripper 3990X: 64 physical cores at
+2.9 GHz with AVX2, 256 MB of shared L3, and quad-channel DDR4-3200.  SMT and
+DVFS are disabled in the paper, so the model here assumes one thread per
+physical core and a fixed clock.
+
+The preset constants are calibrated so that the headline magnitudes of the
+paper hold on the analytic model:
+
+* a single vision model using all 64 cores reaches roughly 300 queries per
+  second (paper Sec. 2.1),
+* MLPerf vision models meet their QoS targets with a handful of cores
+  (paper Fig. 1a),
+* a high-locality schedule can degrade by multiples under heavy LLC
+  contention (paper Fig. 6a reports up to ~7x).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CacheSpec:
+    """Capacity/bandwidth description of one cache level."""
+
+    capacity_bytes: int
+    #: Aggregate bandwidth of the level in bytes/second.  For private caches
+    #: this is per-core; for the shared LLC it is chip-wide.
+    bandwidth_bytes_per_s: float
+    shared: bool = False
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ValueError("cache capacity must be positive")
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ValueError("cache bandwidth must be positive")
+
+
+@dataclass(frozen=True)
+class MemorySpec:
+    """Main-memory description."""
+
+    capacity_bytes: int
+    bandwidth_bytes_per_s: float
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ValueError("memory capacity must be positive")
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ValueError("memory bandwidth must be positive")
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """A many-core CPU as seen by the cost model.
+
+    Attributes
+    ----------
+    cores:
+        Number of physical cores available for scheduling.
+    frequency_hz:
+        Fixed core clock (DVFS disabled, as in the paper).
+    flops_per_cycle:
+        Peak FP32 flops per cycle per core (SIMD width x FMA issue x 2).
+    sustained_fraction:
+        Fraction of peak a well-tuned kernel sustains; folds in front-end
+        and port-pressure losses the analytic model does not itemise.
+    l2:
+        Private per-core cache (the innermost reuse level we model).
+    llc:
+        Shared last-level cache; the contended resource in the paper.
+    dram:
+        Main memory.
+    thread_spawn_s:
+        Cost of spawning/parking one worker thread.  This prices both the
+        initial parallel-region entry and the paper's conflict-expansion
+        overhead (Sec. 3.2, Fig. 5b: mean ~220 us per conflicted layer).
+    """
+
+    name: str
+    cores: int
+    frequency_hz: float
+    flops_per_cycle: float
+    sustained_fraction: float
+    l2: CacheSpec
+    llc: CacheSpec
+    dram: MemorySpec
+    thread_spawn_s: float = 12e-6
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ValueError("core count must be positive")
+        if self.frequency_hz <= 0:
+            raise ValueError("frequency must be positive")
+        if self.flops_per_cycle <= 0:
+            raise ValueError("flops_per_cycle must be positive")
+        if not 0.0 < self.sustained_fraction <= 1.0:
+            raise ValueError("sustained_fraction must be in (0, 1]")
+        if self.thread_spawn_s < 0:
+            raise ValueError("thread_spawn_s must be non-negative")
+
+    @property
+    def peak_flops_per_core(self) -> float:
+        """Theoretical peak FP32 flops/second of one core."""
+        return self.frequency_hz * self.flops_per_cycle
+
+    @property
+    def sustained_flops_per_core(self) -> float:
+        """Achievable flops/second of one core for tuned dense kernels."""
+        return self.peak_flops_per_core * self.sustained_fraction
+
+    @property
+    def peak_flops(self) -> float:
+        """Chip-wide theoretical peak flops/second."""
+        return self.peak_flops_per_core * self.cores
+
+    def llc_share(self, cores: int) -> float:
+        """LLC capacity a task holding ``cores`` cores can expect to keep.
+
+        The 3990X LLC is physically banked per CCX; a task's effective share
+        scales with the share of cores it occupies, floored at one CCX-worth
+        so tiny tasks still see a useful slice.
+        """
+        if cores <= 0:
+            return 0.0
+        fraction = min(1.0, cores / self.cores)
+        one_bank = self.llc.capacity_bytes / max(1, self.cores // 4)
+        return max(one_bank, fraction * self.llc.capacity_bytes)
+
+
+def threadripper_3990x() -> CpuSpec:
+    """The paper's evaluation platform (Sec. 5.1), as model constants.
+
+    64 Zen-2 cores at 2.9 GHz; AVX2 gives 8 FP32 lanes x 2 FMA pipes x
+    2 flops = 32 flops/cycle peak.  256 MB L3 across 16 CCXs, 512 KB
+    private L2 per core, and ~95 GB/s of quad-channel DDR4-3200.
+    """
+    return CpuSpec(
+        name="AMD Ryzen Threadripper 3990X",
+        cores=64,
+        frequency_hz=2.9e9,
+        flops_per_cycle=32.0,
+        sustained_fraction=0.75,
+        l2=CacheSpec(capacity_bytes=512 * 1024,
+                     bandwidth_bytes_per_s=64e9),
+        llc=CacheSpec(capacity_bytes=256 * 1024 * 1024,
+                      bandwidth_bytes_per_s=1.6e12,
+                      shared=True),
+        dram=MemorySpec(capacity_bytes=256 * 1024**3,
+                        bandwidth_bytes_per_s=95e9),
+        thread_spawn_s=8e-6,
+    )
+
+
+#: Module-level singleton preset; cheap to construct but convenient to share.
+THREADRIPPER_3990X = threadripper_3990x()

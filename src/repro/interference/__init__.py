@@ -1,0 +1,18 @@
+"""Interference substrate: system pressure model and the counter proxy."""
+
+from repro.interference.model import InterferenceState, RunningTask
+from repro.interference.proxy import (
+    LinearInterferenceProxy,
+    PcaReport,
+    ProxySample,
+    collect_samples,
+    fit_proxy,
+    pca_analysis,
+    proxy_accuracy,
+)
+
+__all__ = [
+    "InterferenceState", "RunningTask",
+    "LinearInterferenceProxy", "PcaReport", "ProxySample",
+    "collect_samples", "fit_proxy", "pca_analysis", "proxy_accuracy",
+]

@@ -1,0 +1,83 @@
+"""System interference pressure from a co-location set.
+
+The paper defines the interference pressure level as the average slowdown
+experienced by layers running on the system (Sec. 4.3).  Mechanically,
+pressure here is the capped sum of each co-runner's occupancy of the two
+contended resources (LLC capacity and DRAM bandwidth); the pressure a task
+*experiences* excludes its own contribution — a task does not interfere
+with itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class RunningTask:
+    """The interference-relevant footprint of one running execution."""
+
+    task_id: int
+    pressure: float  # contribution in [0, 1] (CostModel.pressure_contribution)
+    #: Remaining-latency fraction; tasks about to finish can be discounted
+    #: by the scheduler's soon-to-finish filter (paper Sec. 4.3).
+    remaining_fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.pressure <= 1.0:
+            raise ValueError(f"pressure must be in [0, 1]: {self.pressure}")
+        if not 0.0 <= self.remaining_fraction <= 1.0:
+            raise ValueError("remaining_fraction must be in [0, 1]")
+
+
+@dataclass
+class InterferenceState:
+    """Tracks co-runner pressure for the simulator and the scheduler."""
+
+    #: Tasks whose remaining latency fraction is below this are ignored
+    #: when *planning* (they will be gone before the next block matters).
+    soon_to_finish_threshold: float = 0.10
+    _tasks: dict[int, RunningTask] = field(default_factory=dict)
+
+    def add(self, task: RunningTask) -> None:
+        self._tasks[task.task_id] = task
+
+    def remove(self, task_id: int) -> None:
+        self._tasks.pop(task_id, None)
+
+    def update_remaining(self, task_id: int, remaining: float) -> None:
+        task = self._tasks.get(task_id)
+        if task is not None:
+            self._tasks[task_id] = RunningTask(
+                task_id=task.task_id, pressure=task.pressure,
+                remaining_fraction=min(1.0, max(0.0, remaining)))
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def pressure_for(self, task_id: int | None = None,
+                     planning: bool = False) -> float:
+        """System pressure experienced by ``task_id`` (or by a newcomer).
+
+        Parameters
+        ----------
+        task_id:
+            Excluded from the sum; ``None`` means "a task about to start".
+        planning:
+            When true, apply the paper's soon-to-finish filter: ongoing
+            blocks within the remaining-latency threshold are ignored
+            because they will not pressure the *next* block.
+        """
+        total = 0.0
+        for task in self._tasks.values():
+            if task.task_id == task_id:
+                continue
+            if planning and (task.remaining_fraction
+                             < self.soon_to_finish_threshold):
+                continue
+            total += task.pressure
+        return min(1.0, total)
+
+    def total_pressure(self) -> float:
+        """Aggregate pressure including every running task."""
+        return min(1.0, sum(t.pressure for t in self._tasks.values()))

@@ -1,0 +1,30 @@
+"""DNN model substrate: layer specs, graphs, and the MLPerf-style zoo."""
+
+from repro.models.graph import ModelGraph, chain
+from repro.models.layers import (
+    Conv2D,
+    Dense,
+    DepthwiseConv2D,
+    Elementwise,
+    FusedLayer,
+    GemmShape,
+    LayerSpec,
+    Pool,
+)
+from repro.models.registry import (
+    HEAVY,
+    LIGHT,
+    MEDIUM,
+    ModelEntry,
+    get_entry,
+    get_model,
+    model_names,
+    models_by_class,
+)
+
+__all__ = [
+    "Conv2D", "Dense", "DepthwiseConv2D", "Elementwise", "FusedLayer",
+    "GemmShape", "LayerSpec", "Pool", "ModelGraph", "chain",
+    "ModelEntry", "get_entry", "get_model", "model_names",
+    "models_by_class", "LIGHT", "MEDIUM", "HEAVY",
+]

@@ -1,0 +1,61 @@
+"""BERT-Large (Devlin et al., NAACL 2019), SQuAD serving configuration.
+
+MLPerf runs sequence length 384; at that size the modelled 64-core CPU
+needs ~110 ms in isolation against the 130 ms QoS target, leaving no
+co-location headroom at all (real CPU submissions serve single-digit QPS
+there).  Per the reproduction's substitution rule we serve sequence
+length 256 — the same architecture with QoS headroom comparable to the
+paper's testbed.
+
+Each encoder layer is lowered to the GEMMs a CPU compiler actually emits:
+fused QKV projection, per-head score and context batched GEMMs (folded into
+single GEMM shapes), output projection, and the two FFN GEMMs, with softmax
+/ layer-norm / GELU as element-wise layers.
+"""
+
+from __future__ import annotations
+
+from repro.models.graph import ModelGraph, chain
+from repro.models.layers import Dense, Elementwise, LayerSpec
+
+_LAYERS = 24
+_HIDDEN = 1024
+_HEADS = 16
+_HEAD_DIM = _HIDDEN // _HEADS
+_FFN = 4096
+_SEQ = 256
+
+
+def _encoder_layer(tag: str) -> list[LayerSpec]:
+    seq, hid = _SEQ, _HIDDEN
+    layers: list[LayerSpec] = [
+        Dense(name=f"{tag}.qkv", m=seq, n=3 * hid, k=hid),
+        # Batched per-head GEMMs folded: heads x (seq x seq x head_dim).
+        Dense(name=f"{tag}.scores", m=_HEADS * seq, n=seq, k=_HEAD_DIM),
+        Elementwise(name=f"{tag}.softmax", elements=_HEADS * seq * seq,
+                    ops_per_element=4),
+        Dense(name=f"{tag}.context", m=_HEADS * seq, n=_HEAD_DIM, k=seq),
+        Dense(name=f"{tag}.out_proj", m=seq, n=hid, k=hid),
+        Elementwise(name=f"{tag}.add_ln1", elements=seq * hid,
+                    ops_per_element=4, reads_second_input=True),
+        Dense(name=f"{tag}.ffn1", m=seq, n=_FFN, k=hid),
+        Elementwise(name=f"{tag}.gelu", elements=seq * _FFN,
+                    ops_per_element=6),
+        Dense(name=f"{tag}.ffn2", m=seq, n=hid, k=_FFN),
+        Elementwise(name=f"{tag}.add_ln2", elements=seq * hid,
+                    ops_per_element=4, reads_second_input=True),
+    ]
+    return layers
+
+
+def bert_large() -> ModelGraph:
+    """Build BERT-Large (seq len 256) as an explicit layer chain."""
+    layers: list[LayerSpec] = [
+        Elementwise(name="embeddings", elements=_SEQ * _HIDDEN,
+                    ops_per_element=3),
+    ]
+    for idx in range(_LAYERS):
+        layers.extend(_encoder_layer(f"encoder{idx}"))
+    # SQuAD span head.
+    layers.append(Dense(name="qa_head", m=_SEQ, n=2, k=_HIDDEN))
+    return chain("bert_large", layers)

@@ -1,0 +1,75 @@
+"""EfficientNet-B0 (Tan & Le, ICML 2019) at 224x224.
+
+Includes the squeeze-and-excitation (SE) sub-blocks as explicit
+global-pool + two tiny GEMMs + channel-scale layers, which gives the model
+its characteristic mix of large convolutions and near-zero-cost layers —
+relevant to the scheduling-granularity experiments.
+"""
+
+from __future__ import annotations
+
+from repro.models.graph import ModelGraph, chain
+from repro.models.layers import Dense, Elementwise, Pool
+from repro.models.zoo._builder import LayerBuilder
+
+#: MBConv stage configs: (expansion, out channels, repeats, first stride,
+#: kernel size) — Table 1 of the EfficientNet paper.
+_STAGES = (
+    (1, 16, 1, 1, 3),
+    (6, 24, 2, 2, 3),
+    (6, 40, 2, 2, 5),
+    (6, 80, 3, 2, 3),
+    (6, 112, 3, 1, 5),
+    (6, 192, 4, 2, 5),
+    (6, 320, 1, 1, 3),
+)
+
+#: SE bottleneck ratio relative to the block *input* channels.
+_SE_RATIO = 0.25
+
+
+def _squeeze_excite(b: LayerBuilder, tag: str, size: int, hidden: int,
+                    c_in: int) -> None:
+    """Global pool -> reduce GEMM -> expand GEMM -> channel scale."""
+    se_mid = max(1, int(c_in * _SE_RATIO))
+    b.add(Pool(name=f"{tag}.se_pool", height=size, width=size,
+               channels=hidden, kernel=size, stride=size))
+    b.add(Dense(name=f"{tag}.se_reduce", m=1, n=se_mid, k=hidden))
+    b.add(Dense(name=f"{tag}.se_expand", m=1, n=hidden, k=se_mid))
+    b.add(Elementwise(name=f"{tag}.se_scale", elements=size * size * hidden,
+                      reads_second_input=True))
+
+
+def _mbconv(b: LayerBuilder, tag: str, size: int, c_in: int, c_out: int,
+            expansion: int, stride: int, kernel: int) -> int:
+    """Emit one MBConv block; returns the output spatial size."""
+    hidden = c_in * expansion
+    out_size = max(1, size // stride)
+    if expansion != 1:
+        b.conv(f"{tag}.expand", size, c_in, hidden, kernel=1)
+    b.dwconv(f"{tag}.dw", size, hidden, kernel=kernel, stride=stride)
+    _squeeze_excite(b, tag, out_size, hidden, c_in)
+    b.conv(f"{tag}.project", out_size, hidden, c_out, kernel=1, relu=False)
+    if stride == 1 and c_in == c_out:
+        b.residual_add(f"{tag}.add", out_size * out_size * c_out, relu=False)
+    return out_size
+
+
+def efficientnet_b0() -> ModelGraph:
+    """Build EfficientNet-B0 as an explicit layer chain (pre-fusion)."""
+    b = LayerBuilder()
+    b.conv("stem", 224, 3, 32, kernel=3, stride=2)
+
+    size, c_in = 112, 32
+    for stage_idx, (t, c, n, s, k) in enumerate(_STAGES, 1):
+        for block_idx in range(n):
+            stride = s if block_idx == 0 else 1
+            size = _mbconv(b, f"block{stage_idx}.{block_idx}",
+                           size, c_in, c, t, stride, k)
+            c_in = c
+
+    b.conv("head", size, c_in, 1280, kernel=1)
+    b.add(Pool(name="avgpool", height=size, width=size, channels=1280,
+               kernel=size, stride=size))
+    b.add(Dense(name="fc", m=1, n=1000, k=1280))
+    return chain("efficientnet_b0", b.layers)

@@ -1,0 +1,68 @@
+"""GoogLeNet / Inception-v1 (Szegedy et al., CVPR 2015) at 224x224.
+
+Inception branches are emitted in a fixed order (1x1, 3x3 tower, 5x5 tower,
+pool tower) and executed in that linearised order, as the paper's schedulers
+also treat models as layer sequences.
+"""
+
+from __future__ import annotations
+
+from repro.models.graph import ModelGraph, chain
+from repro.models.layers import Dense, Pool
+from repro.models.zoo._builder import LayerBuilder
+
+#: Inception module channel configs:
+#: (c_in, b1, b2_reduce, b2, b3_reduce, b3, b4_pool_proj)
+_INCEPTION = {
+    "3a": (192, 64, 96, 128, 16, 32, 32),
+    "3b": (256, 128, 128, 192, 32, 96, 64),
+    "4a": (480, 192, 96, 208, 16, 48, 64),
+    "4b": (512, 160, 112, 224, 24, 64, 64),
+    "4c": (512, 128, 128, 256, 24, 64, 64),
+    "4d": (512, 112, 144, 288, 32, 64, 64),
+    "4e": (528, 256, 160, 320, 32, 128, 128),
+    "5a": (832, 256, 160, 320, 32, 128, 128),
+    "5b": (832, 384, 192, 384, 48, 128, 128),
+}
+
+
+def _inception(b: LayerBuilder, tag: str, size: int) -> int:
+    """Emit one inception module; returns its output channel count."""
+    c_in, b1, b2r, b2, b3r, b3, b4 = _INCEPTION[tag]
+    b.conv(f"{tag}.b1", size, c_in, b1, kernel=1)
+    b.conv(f"{tag}.b2_reduce", size, c_in, b2r, kernel=1)
+    b.conv(f"{tag}.b2", size, b2r, b2, kernel=3)
+    b.conv(f"{tag}.b3_reduce", size, c_in, b3r, kernel=1)
+    b.conv(f"{tag}.b3", size, b3r, b3, kernel=5)
+    b.add(Pool(name=f"{tag}.pool", height=size, width=size,
+               channels=c_in, kernel=3, stride=1))
+    b.conv(f"{tag}.b4_proj", size, c_in, b4, kernel=1)
+    return b1 + b2 + b3 + b4
+
+
+def googlenet() -> ModelGraph:
+    """Build GoogLeNet as an explicit layer chain (pre-fusion)."""
+    b = LayerBuilder()
+    b.conv("conv1", 224, 3, 64, kernel=7, stride=2)
+    b.add(Pool(name="pool1", height=112, width=112, channels=64,
+               kernel=3, stride=2))
+    b.conv("conv2_reduce", 56, 64, 64, kernel=1)
+    b.conv("conv2", 56, 64, 192, kernel=3)
+    b.add(Pool(name="pool2", height=56, width=56, channels=192,
+               kernel=3, stride=2))
+
+    _inception(b, "3a", 28)
+    _inception(b, "3b", 28)
+    b.add(Pool(name="pool3", height=28, width=28, channels=480,
+               kernel=3, stride=2))
+    for tag in ("4a", "4b", "4c", "4d", "4e"):
+        _inception(b, tag, 14)
+    b.add(Pool(name="pool4", height=14, width=14, channels=832,
+               kernel=3, stride=2))
+    _inception(b, "5a", 7)
+    _inception(b, "5b", 7)
+
+    b.add(Pool(name="avgpool", height=7, width=7, channels=1024,
+               kernel=7, stride=7))
+    b.add(Dense(name="fc", m=1, n=1000, k=1024))
+    return chain("googlenet", b.layers)

@@ -1,0 +1,53 @@
+"""MobileNet-V2 (Sandler et al., CVPR 2018) at 224x224."""
+
+from __future__ import annotations
+
+from repro.models.graph import ModelGraph, chain
+from repro.models.layers import Dense, Pool
+from repro.models.zoo._builder import LayerBuilder
+
+#: Inverted-residual stage configs: (expansion t, out channels c, repeats n,
+#: first stride s) — Table 2 of the MobileNet-V2 paper.
+_STAGES = (
+    (1, 16, 1, 1),
+    (6, 24, 2, 2),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+)
+
+
+def _inverted_residual(b: LayerBuilder, tag: str, size: int, c_in: int,
+                       c_out: int, expansion: int, stride: int) -> int:
+    """Emit one inverted-residual block; returns output spatial size."""
+    hidden = c_in * expansion
+    out_size = max(1, size // stride)
+    if expansion != 1:
+        b.conv(f"{tag}.expand", size, c_in, hidden, kernel=1)
+    b.dwconv(f"{tag}.dw", size, hidden, kernel=3, stride=stride)
+    b.conv(f"{tag}.project", out_size, hidden, c_out, kernel=1, relu=False)
+    if stride == 1 and c_in == c_out:
+        b.residual_add(f"{tag}.add", out_size * out_size * c_out, relu=False)
+    return out_size
+
+
+def mobilenet_v2() -> ModelGraph:
+    """Build MobileNet-V2 as an explicit layer chain (pre-fusion)."""
+    b = LayerBuilder()
+    b.conv("conv1", 224, 3, 32, kernel=3, stride=2)
+
+    size, c_in = 112, 32
+    for stage_idx, (t, c, n, s) in enumerate(_STAGES, 1):
+        for block_idx in range(n):
+            stride = s if block_idx == 0 else 1
+            size = _inverted_residual(
+                b, f"block{stage_idx}.{block_idx}", size, c_in, c, t, stride)
+            c_in = c
+
+    b.conv("conv_last", size, c_in, 1280, kernel=1)
+    b.add(Pool(name="avgpool", height=size, width=size, channels=1280,
+               kernel=size, stride=size))
+    b.add(Dense(name="fc", m=1, n=1000, k=1280))
+    return chain("mobilenet_v2", b.layers)

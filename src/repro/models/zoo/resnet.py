@@ -1,0 +1,58 @@
+"""ResNet-50 (He et al., CVPR 2016) at 224x224, the paper's workhorse model.
+
+Layer census after element-wise fusion: 53 convolutions (1 stem + 48
+bottleneck convs + 4 downsample projections), 2 pools and 1 GEMM — matching
+the "55 layers (53 conv and 2 GEMM)" accounting of paper Sec. 3.2 up to how
+pools are counted.
+"""
+
+from __future__ import annotations
+
+from repro.models.graph import ModelGraph, chain
+from repro.models.layers import Dense, Pool
+from repro.models.zoo._builder import LayerBuilder
+
+#: (blocks, mid_channels, out_channels, first_stride) per stage.
+_STAGES = (
+    (3, 64, 256, 1),
+    (4, 128, 512, 2),
+    (6, 256, 1024, 2),
+    (3, 512, 2048, 2),
+)
+
+
+def _bottleneck(b: LayerBuilder, tag: str, size: int, c_in: int,
+                c_mid: int, c_out: int, stride: int,
+                project: bool) -> int:
+    """Emit one bottleneck; returns the output spatial size."""
+    out_size = max(1, size // stride)
+    b.conv(f"{tag}.conv1", size, c_in, c_mid, kernel=1)
+    b.conv(f"{tag}.conv2", size, c_mid, c_mid, kernel=3, stride=stride)
+    b.conv(f"{tag}.conv3", out_size, c_mid, c_out, kernel=1, relu=False)
+    if project:
+        b.conv(f"{tag}.downsample", size, c_in, c_out, kernel=1,
+               stride=stride, relu=False)
+    b.residual_add(f"{tag}.add", out_size * out_size * c_out)
+    return out_size
+
+
+def resnet50() -> ModelGraph:
+    """Build ResNet-50 as an explicit layer chain (pre-fusion)."""
+    b = LayerBuilder()
+    b.conv("conv1", 224, 3, 64, kernel=7, stride=2)
+    b.add(Pool(name="maxpool", height=112, width=112, channels=64,
+               kernel=3, stride=2))
+
+    size, c_in = 56, 64
+    for stage_idx, (blocks, c_mid, c_out, first_stride) in enumerate(_STAGES, 1):
+        for block_idx in range(blocks):
+            stride = first_stride if block_idx == 0 else 1
+            project = block_idx == 0
+            size = _bottleneck(b, f"layer{stage_idx}.{block_idx}",
+                               size, c_in, c_mid, c_out, stride, project)
+            c_in = c_out
+
+    b.add(Pool(name="avgpool", height=7, width=7, channels=2048,
+               kernel=7, stride=7))
+    b.add(Dense(name="fc", m=1, n=1000, k=2048))
+    return chain("resnet50", b.layers)

@@ -1,0 +1,86 @@
+"""SSD with a ResNet-34 backbone, the MLPerf heavy object-detection model.
+
+MLPerf runs SSD-ResNet34 at 1200x1200; on the modelled 64-core CPU that
+would exceed the 100 ms QoS target even in isolation, so — following the
+reproduction's substitution rule — we build the same architecture at
+800x800, which keeps it the by-far heaviest vision workload (~10x ResNet-50)
+while leaving QoS headroom comparable to the paper's testbed.
+"""
+
+from __future__ import annotations
+
+from repro.models.graph import ModelGraph, chain
+from repro.models.layers import Pool
+from repro.models.zoo._builder import LayerBuilder
+
+_INPUT = 800
+
+#: ResNet-34 stages: (basic blocks, channels, first stride).
+_STAGES = (
+    (3, 64, 1),
+    (4, 128, 2),
+    (6, 256, 2),
+)
+
+#: Extra SSD feature layers: (tag, mid channels, out channels, stride).
+_EXTRAS = (
+    ("extra1", 256, 512, 2),
+    ("extra2", 256, 512, 2),
+    ("extra3", 128, 256, 2),
+    ("extra4", 128, 256, 2),
+)
+
+#: Detection heads: (feature size, channels, anchors per location).
+_HEADS = (
+    (100, 256, 4),
+    (50, 512, 6),
+    (25, 512, 6),
+    (13, 256, 6),
+    (7, 256, 4),
+    (4, 256, 4),
+)
+
+_NUM_CLASSES = 81  # COCO classes + background
+
+
+def _basic_block(b: LayerBuilder, tag: str, size: int, c_in: int,
+                 c_out: int, stride: int) -> int:
+    out_size = max(1, size // stride)
+    b.conv(f"{tag}.conv1", size, c_in, c_out, kernel=3, stride=stride)
+    b.conv(f"{tag}.conv2", out_size, c_out, c_out, kernel=3, relu=False)
+    if stride != 1 or c_in != c_out:
+        b.conv(f"{tag}.downsample", size, c_in, c_out, kernel=1,
+               stride=stride, relu=False)
+    b.residual_add(f"{tag}.add", out_size * out_size * c_out)
+    return out_size
+
+
+def ssd_resnet34() -> ModelGraph:
+    """Build SSD-ResNet34 as an explicit layer chain (pre-fusion)."""
+    b = LayerBuilder()
+    b.conv("stem", _INPUT, 3, 64, kernel=7, stride=2)
+    b.add(Pool(name="stem.pool", height=_INPUT // 2, width=_INPUT // 2,
+               channels=64, kernel=3, stride=2))
+
+    size, c_in = _INPUT // 4, 64
+    for stage_idx, (blocks, channels, first_stride) in enumerate(_STAGES, 1):
+        for block_idx in range(blocks):
+            stride = first_stride if block_idx == 0 else 1
+            size = _basic_block(b, f"layer{stage_idx}.{block_idx}",
+                                size, c_in, channels, stride)
+            c_in = channels
+
+    for tag, c_mid, c_out, stride in _EXTRAS:
+        b.conv(f"{tag}.reduce", size, c_in, c_mid, kernel=1)
+        size = max(1, size // stride)
+        b.conv(f"{tag}.conv", size * stride, c_mid, c_out,
+               kernel=3, stride=stride)
+        c_in = c_out
+
+    for idx, (feat_size, channels, anchors) in enumerate(_HEADS, 1):
+        b.conv(f"head{idx}.loc", feat_size, channels, anchors * 4,
+               kernel=3, relu=False, batch_norm=False)
+        b.conv(f"head{idx}.conf", feat_size, channels,
+               anchors * _NUM_CLASSES, kernel=3, relu=False,
+               batch_norm=False)
+    return chain("ssd_resnet34", b.layers)

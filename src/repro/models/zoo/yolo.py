@@ -1,0 +1,35 @@
+"""Tiny-YOLOv2 (Redmon & Farhadi, CVPR 2017) at 416x416, VOC head."""
+
+from __future__ import annotations
+
+from repro.models.graph import ModelGraph, chain
+from repro.models.layers import Pool
+from repro.models.zoo._builder import LayerBuilder
+
+#: Backbone convs: (out channels, pool stride after the conv; 0 = no pool).
+_BACKBONE = (
+    (16, 2),
+    (32, 2),
+    (64, 2),
+    (128, 2),
+    (256, 2),
+    (512, 1),
+)
+
+
+def tiny_yolov2() -> ModelGraph:
+    """Build Tiny-YOLOv2 as an explicit layer chain (pre-fusion)."""
+    b = LayerBuilder()
+    size, c_in = 416, 3
+    for idx, (c_out, pool_stride) in enumerate(_BACKBONE, 1):
+        b.conv(f"conv{idx}", size, c_in, c_out, kernel=3)
+        b.add(Pool(name=f"pool{idx}", height=size, width=size,
+                   channels=c_out, kernel=2, stride=pool_stride))
+        size = max(1, size // pool_stride)
+        c_in = c_out
+
+    b.conv("conv7", size, 512, 1024, kernel=3)
+    b.conv("conv8", size, 1024, 1024, kernel=3)
+    # Detection head: 5 anchors x (5 box coords + 20 VOC classes) = 125.
+    b.conv("head", size, 1024, 125, kernel=1, relu=False, batch_norm=False)
+    return chain("tiny_yolov2", b.layers)

@@ -1,0 +1,11 @@
+"""Runtime substrate: core allocation, task records, and the DES engine."""
+
+from repro.runtime.allocator import AllocationError, CoreAllocator
+from repro.runtime.engine import Engine, SimulationMetrics
+from repro.runtime.tasks import Query, RunningBlock, block_duration
+
+__all__ = [
+    "AllocationError", "CoreAllocator",
+    "Engine", "SimulationMetrics",
+    "Query", "RunningBlock", "block_duration",
+]

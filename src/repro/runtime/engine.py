@@ -1,0 +1,320 @@
+"""Rate-based discrete-event simulation of the multi-tenant CPU.
+
+Execution model: each running layer block advances through its work at a
+*rate* (work fraction per second) priced by the cost model under the
+current co-location pressure.  Whenever the co-location set changes
+(block start, finish, or grow), every running block's progress is banked
+and its rate re-priced — so a block that started on a quiet machine slows
+down mid-flight when noisy neighbours arrive, exactly the dynamic the
+paper's adaptive scheduler reacts to.
+
+The engine owns mechanics only (clock, events, core accounting, pressure
+bookkeeping); *policies* live in :mod:`repro.scheduling` and are invoked
+through a single callback, :meth:`Scheduler.schedule`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.compiler.costmodel import CostModel
+from repro.compiler.schedule import Schedule
+from repro.runtime.allocator import CoreAllocator
+from repro.runtime.tasks import Query, RunningBlock, block_duration
+
+#: Pressure quantisation step for cost-model memo hits.
+_PRESSURE_QUANTUM = 0.02
+
+
+class Scheduler(Protocol):
+    """Policy interface: examine the engine, start/grow blocks, return."""
+
+    def schedule(self, engine: "Engine") -> None:  # pragma: no cover
+        ...
+
+
+@dataclass
+class SimulationMetrics:
+    """System-wide accounting over one simulation run."""
+
+    conflicts: int = 0
+    grows: int = 0
+    blocks_started: int = 0
+    #: Integral of allocated cores over time (core-seconds).
+    usage_core_seconds: float = 0.0
+    #: Integral bounds for utilisation reporting.
+    first_event_s: float | None = None
+    last_event_s: float = 0.0
+    max_cores_used: int = 0
+
+    @property
+    def span_s(self) -> float:
+        if self.first_event_s is None:
+            return 0.0
+        return max(0.0, self.last_event_s - self.first_event_s)
+
+    @property
+    def average_cores_used(self) -> float:
+        span = self.span_s
+        return self.usage_core_seconds / span if span > 0 else 0.0
+
+
+class Engine:
+    """The simulator core: event loop + running-block bookkeeping."""
+
+    def __init__(self, cost_model: CostModel,
+                 soon_to_finish_threshold: float = 0.10) -> None:
+        self.cost_model = cost_model
+        self.cpu = cost_model.cpu
+        self.allocator = CoreAllocator(self.cpu.cores)
+        self.soon_to_finish_threshold = soon_to_finish_threshold
+        self.now = 0.0
+        self.metrics = SimulationMetrics()
+        #: Queries that arrived and have not started their first block.
+        self.waiting: deque[Query] = deque()
+        #: Queries between blocks, ready for their next block.
+        self.ready: deque[Query] = deque()
+        self.running: dict[int, RunningBlock] = {}
+        self.completed: list[Query] = []
+        self._events: list[tuple[float, int, str, object]] = []
+        self._seq = itertools.count()
+        self._task_ids = itertools.count(1)
+        self._dirty = False
+        #: Block pricing memo: identical blocks recur across queries, so
+        #: (model, range, versions, cores, pressure) -> (duration, rates).
+        self._price_memo: dict[tuple, tuple[float, float, float]] = {}
+
+    # ------------------------------------------------------------------
+    # pressure / introspection for schedulers
+    # ------------------------------------------------------------------
+
+    def pressure(self, exclude_task: int | None = None,
+                 planning: bool = False) -> float:
+        """System pressure, optionally excluding one task.
+
+        With ``planning=True``, blocks whose remaining work fraction is
+        below the soon-to-finish threshold are ignored (paper Sec. 4.3).
+        """
+        total = 0.0
+        for block in self.running.values():
+            if block.task_id == exclude_task:
+                continue
+            if planning and (1.0 - block.progress
+                             < self.soon_to_finish_threshold):
+                continue
+            total += block.pressure
+        return min(1.0, total)
+
+    def system_counters(self) -> tuple[float, float]:
+        """Aggregate (L3 miss rate, L3 accesses/s) across running blocks.
+
+        This is what the runtime monitor samples for the interference
+        proxy; rates were cached at the last re-pricing.
+        """
+        misses = sum(b.miss_lines_per_s for b in self.running.values())
+        accesses = sum(b.access_lines_per_s for b in self.running.values())
+        if accesses <= 0.0:
+            return 0.0, 0.0
+        return misses / accesses, accesses
+
+    # ------------------------------------------------------------------
+    # scheduler-facing actions
+    # ------------------------------------------------------------------
+
+    def start_block(self, query: Query, stop_layer: int, cores: int,
+                    versions: tuple[Schedule, ...],
+                    desired_cores: int | None = None) -> int:
+        """Begin executing layers ``[query.next_layer, stop_layer)``.
+
+        ``desired_cores`` marks a scheduling conflict: the policy wanted
+        more than it could get and intends to grow later.
+        """
+        start_layer = query.next_layer
+        if not start_layer < stop_layer <= len(query.model.layers):
+            raise ValueError(
+                f"bad block range [{start_layer}, {stop_layer}) for "
+                f"{query.model.name}")
+        desired = desired_cores if desired_cores is not None else cores
+        task_id = next(self._task_ids)
+        self.allocator.allocate(task_id, cores)
+
+        block = RunningBlock(
+            task_id=task_id, query=query, start_layer=start_layer,
+            stop_layer=stop_layer, versions=versions, cores=cores,
+            desired_cores=desired, started_s=self.now,
+            last_update_s=self.now,
+        )
+        block.pressure = self._block_pressure(block)
+        self.running[task_id] = block
+        if query.started_s is None:
+            query.started_s = self.now
+        query.blocks += 1
+        self.metrics.blocks_started += 1
+        if desired > cores:
+            query.conflicts += 1
+            self.metrics.conflicts += 1
+        self._dirty = True
+        return task_id
+
+    def grow_block(self, task_id: int, extra_cores: int) -> None:
+        """Give a conflicted block more cores (paper's recovery technique).
+
+        The added threads cost one spawn, charged against the block's
+        remaining work at the next re-pricing.
+        """
+        block = self.running[task_id]
+        self.allocator.grow(task_id, extra_cores)
+        block.cores += extra_cores
+        block.pending_overhead_s += self.cost_model.expand_overhead(
+            extra_cores)
+        block.query.grows += 1
+        block.pressure = self._block_pressure(block)
+        self.metrics.grows += 1
+        self._dirty = True
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _block_pressure(self, block: RunningBlock) -> float:
+        """Duration-weighted pressure contribution of a block's layers."""
+        key = ("pressure", block.query.model.name, block.start_layer,
+               block.stop_layer, block.versions, block.cores)
+        cached = self._price_memo.get(key)
+        if cached is not None:
+            return cached[0]
+        layers = block.query.model.graph.layers
+        total_time = 0.0
+        weighted = 0.0
+        for offset, index in enumerate(range(block.start_layer,
+                                             block.stop_layer)):
+            layer = layers[index]
+            version = block.versions[offset]
+            iso = self.cost_model.latency(layer, version, block.cores, 0.0)
+            contribution = self.cost_model.pressure_contribution(
+                layer, version, block.cores)
+            total_time += iso
+            weighted += iso * contribution
+        value = weighted / total_time if total_time > 0 else 0.0
+        self._price_memo[key] = (value, 0.0, 0.0)
+        return value
+
+    def _quantize(self, pressure: float) -> float:
+        steps = round(pressure / _PRESSURE_QUANTUM)
+        return min(1.0, steps * _PRESSURE_QUANTUM)
+
+    def _advance(self, to_time: float) -> None:
+        """Bank progress for all running blocks up to ``to_time``."""
+        if self.metrics.first_event_s is None:
+            self.metrics.first_event_s = to_time
+        used = self.allocator.used
+        dt_total = to_time - self.metrics.last_event_s
+        if dt_total > 0:
+            self.metrics.usage_core_seconds += used * dt_total
+        self.metrics.last_event_s = to_time
+        self.metrics.max_cores_used = max(self.metrics.max_cores_used, used)
+        for block in self.running.values():
+            dt = to_time - block.last_update_s
+            if dt > 0:
+                block.progress = min(1.0, block.progress + dt * block.rate)
+                block.query.core_seconds += block.cores * dt
+                block.last_update_s = to_time
+        self.now = to_time
+
+    def _price_block(self, block: RunningBlock,
+                     pressure: float) -> tuple[float, float, float]:
+        """(duration, miss lines/s, access lines/s) for a block execution."""
+        key = (block.query.model.name, block.start_layer, block.stop_layer,
+               block.versions, block.cores, pressure)
+        cached = self._price_memo.get(key)
+        if cached is not None:
+            return cached
+        duration = block_duration(
+            self.cost_model, block.query, block.start_layer,
+            block.stop_layer, block.versions, block.cores, pressure)
+        layers = block.query.model.graph.layers
+        misses = 0.0
+        accesses = 0.0
+        for offset, index in enumerate(range(block.start_layer,
+                                             block.stop_layer)):
+            execution = self.cost_model.execution(
+                layers[index], block.versions[offset], block.cores,
+                pressure)
+            misses += execution.dram_line_misses
+            accesses += execution.llc_line_accesses
+        priced = (duration, misses / duration, accesses / duration)
+        self._price_memo[key] = priced
+        return priced
+
+    def _reprice_all(self) -> None:
+        """Re-price every running block under the current pressure."""
+        for block in self.running.values():
+            pressure = self._quantize(self.pressure(
+                exclude_task=block.task_id))
+            duration, miss_rate, access_rate = self._price_block(block,
+                                                                 pressure)
+            if block.pending_overhead_s > 0.0:
+                block.progress -= block.pending_overhead_s / duration
+                block.pending_overhead_s = 0.0
+            block.rate = 1.0 / duration
+            block.miss_lines_per_s = miss_rate
+            block.access_lines_per_s = access_rate
+            block.generation += 1
+            remaining = max(0.0, 1.0 - block.progress) * duration
+            heapq.heappush(self._events, (
+                self.now + remaining, next(self._seq), "finish",
+                (block.task_id, block.generation)))
+        self._dirty = False
+
+    def _finish_block(self, block: RunningBlock) -> None:
+        self.allocator.release(block.task_id)
+        del self.running[block.task_id]
+        query = block.query
+        query.next_layer = block.stop_layer
+        if query.done:
+            query.finished_s = self.now
+            self.completed.append(query)
+        else:
+            self.ready.append(query)
+        self._dirty = True
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+
+    def run(self, queries: list[Query], scheduler: Scheduler,
+            horizon_s: float | None = None) -> list[Query]:
+        """Simulate until all queries complete (or the horizon passes).
+
+        Returns completed queries in completion order.
+        """
+        for query in queries:
+            heapq.heappush(self._events, (
+                query.arrival_s, next(self._seq), "arrival", query))
+
+        while self._events:
+            time, _, kind, payload = heapq.heappop(self._events)
+            if horizon_s is not None and time > horizon_s:
+                break
+            self._advance(time)
+            if kind == "arrival":
+                self.waiting.append(payload)
+            elif kind == "finish":
+                task_id, generation = payload
+                block = self.running.get(task_id)
+                if block is None or block.generation != generation:
+                    continue  # stale pricing
+                self._finish_block(block)
+            scheduler.schedule(self)
+            if (not self.running and (self.waiting or self.ready)
+                    and not self._events):
+                raise RuntimeError(
+                    "scheduler deadlock: pending queries with an idle "
+                    "machine and no future events")
+            if self._dirty:
+                self._reprice_all()
+        return self.completed

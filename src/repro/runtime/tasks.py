@@ -1,0 +1,108 @@
+"""Query and block-execution records for the serving simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler.costmodel import CostModel
+from repro.compiler.library import CompiledModel
+from repro.compiler.schedule import Schedule
+
+
+@dataclass
+class Query:
+    """One inference request moving through the system."""
+
+    query_id: int
+    model: CompiledModel
+    arrival_s: float
+    qos_s: float
+    #: Index of the first layer not yet executed.
+    next_layer: int = 0
+    started_s: float | None = None
+    finished_s: float | None = None
+    conflicts: int = 0
+    grows: int = 0
+    blocks: int = 0
+    core_seconds: float = 0.0
+
+    @property
+    def deadline_s(self) -> float:
+        return self.arrival_s + self.qos_s
+
+    @property
+    def done(self) -> bool:
+        return self.next_layer >= len(self.model.layers)
+
+    @property
+    def remaining_layers(self) -> int:
+        return len(self.model.layers) - self.next_layer
+
+    @property
+    def latency_s(self) -> float:
+        if self.finished_s is None:
+            raise ValueError(f"query {self.query_id} not finished")
+        return self.finished_s - self.arrival_s
+
+    @property
+    def satisfied(self) -> bool:
+        return self.finished_s is not None and self.latency_s <= self.qos_s
+
+
+def block_duration(cost_model: CostModel, query: Query, start: int,
+                   stop: int, versions: tuple[Schedule, ...], cores: int,
+                   interference: float) -> float:
+    """Execution time of layers ``[start, stop)`` as one scheduling unit.
+
+    One parallel-region spawn for the block, then each layer's kernel with
+    its selected version, plus the fixed per-kernel launch cost.
+    """
+    if not 0 <= start < stop <= len(query.model.layers):
+        raise ValueError(f"bad block range [{start}, {stop})")
+    if len(versions) != stop - start:
+        raise ValueError("one version per layer required")
+    launch = cost_model.params.layer_launch_s
+    total = cost_model.spawn_overhead(cores)
+    graph_layers = query.model.graph.layers
+    for offset, layer_index in enumerate(range(start, stop)):
+        layer = graph_layers[layer_index]
+        total += cost_model.latency(layer, versions[offset], cores,
+                                    interference) + launch
+    return total
+
+
+@dataclass
+class RunningBlock:
+    """A block currently executing on the machine."""
+
+    task_id: int
+    query: Query
+    start_layer: int
+    stop_layer: int
+    versions: tuple[Schedule, ...]
+    cores: int
+    #: Cores the scheduler actually wanted (conflict bookkeeping).
+    desired_cores: int
+    started_s: float
+    #: Fraction of the block's work completed.
+    progress: float = 0.0
+    #: Work fraction per second under the current co-location set.
+    rate: float = 0.0
+    last_update_s: float = 0.0
+    #: Stale-event guard: FINISH events carry the generation they priced.
+    generation: int = 0
+    #: Pressure this block exerts on co-runners.
+    pressure: float = 0.0
+    #: Pending extra spawn cost (seconds) from a grow, charged as work.
+    pending_overhead_s: float = 0.0
+    #: Counter rates cached at the last re-pricing (proxy inputs).
+    miss_lines_per_s: float = 0.0
+    access_lines_per_s: float = 0.0
+
+    @property
+    def layer_count(self) -> int:
+        return self.stop_layer - self.start_layer
+
+    @property
+    def had_conflict(self) -> bool:
+        return self.cores < self.desired_cores

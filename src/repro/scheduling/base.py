@@ -1,0 +1,229 @@
+"""Scheduler foundations: offline model profiles and the dispatch driver.
+
+Every policy consumes a :class:`ModelProfile` — the offline-profiled facts
+the paper's schedulers rely on: per-layer latency budgets, per-layer
+minimal core requirements (under the static code version), and the
+model-granularity average core count ``Avg_C`` used by Alg. 2/3.
+
+:class:`SpatialScheduler` implements the shared dispatch mechanics (FCFS
+over continuing-then-new queries, conflict accounting, grow-on-free); the
+concrete policies only decide the next block boundary, its core demand,
+and the code versions — which is exactly the design split of paper Fig. 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+from repro.compiler.costmodel import CostModel
+from repro.compiler.library import CompiledModel
+from repro.compiler.schedule import Schedule
+from repro.runtime.engine import Engine
+from repro.runtime.tasks import Query, block_duration
+
+
+@dataclass(frozen=True)
+class ModelProfile:
+    """Offline profile of one compiled model (static-version view)."""
+
+    compiled: CompiledModel
+    static_versions: tuple[Schedule, ...]
+    layer_budgets_s: tuple[float, ...]
+    #: Minimal cores for each layer to meet its budget, in isolation.
+    layer_required_cores: tuple[int, ...]
+    #: Budget-weighted average of the per-layer requirements (``Avg_C``).
+    avg_cores: int
+    #: Cores for the whole model to meet QoS as one unit (model-wise FCFS).
+    model_cores: int
+
+
+def build_profile(cost_model: CostModel,
+                  compiled: CompiledModel) -> ModelProfile:
+    """Profile a compiled model for scheduling (paper Sec. 4.2 inputs)."""
+    versions = tuple(entry.static_version() for entry in compiled.layers)
+    budgets = tuple(entry.qos_budget_s for entry in compiled.layers)
+    launch = cost_model.params.layer_launch_s
+    required = []
+    durations = []
+    for layer, version, budget in zip(compiled.graph.layers, versions,
+                                      budgets):
+        # Provision slightly below the budget: running every layer exactly
+        # at its budget edge leaves no room for queueing or interference
+        # jitter, which no deployed allocator would do.
+        cores = cost_model.required_cores(layer, version,
+                                          max(budget * 0.85 - launch, 1e-7))
+        if cores is None:
+            cores = cost_model.cpu.cores
+        required.append(cores)
+        durations.append(cost_model.latency(layer, version, cores, 0.0)
+                         + launch)
+
+    # Time-weighted: the average height of the layer-wise allocation curve
+    # (the red area of paper Fig. 4b), i.e. the minimum sustained core
+    # demand of one in-flight query.
+    total_time = sum(durations)
+    weighted = sum(c * t for c, t in zip(required, durations))
+    avg_cores = max(1, round(weighted / total_time))
+
+    model_cores = _model_required_cores(cost_model, compiled, versions)
+    return ModelProfile(
+        compiled=compiled,
+        static_versions=versions,
+        layer_budgets_s=budgets,
+        layer_required_cores=tuple(required),
+        avg_cores=avg_cores,
+        model_cores=model_cores,
+    )
+
+
+def _model_required_cores(cost_model: CostModel, compiled: CompiledModel,
+                          versions: tuple[Schedule, ...]) -> int:
+    """Minimal fixed core count for the whole model to meet its QoS."""
+    launch = cost_model.params.layer_launch_s
+    target = compiled.qos_s * 0.85  # align with the layer-budget margin
+
+    def model_latency(cores: int) -> float:
+        total = cost_model.spawn_overhead(cores)
+        for layer, version in zip(compiled.graph.layers, versions):
+            total += cost_model.latency(layer, version, cores, 0.0) + launch
+        return total
+
+    cores = 1
+    while cores < cost_model.cpu.cores and model_latency(cores) > target:
+        cores *= 2
+    cores = min(cores, cost_model.cpu.cores)
+    lower = max(1, cores // 2)
+    for candidate in range(lower, cores + 1):
+        if model_latency(candidate) <= target:
+            return candidate
+    return cores
+
+
+@dataclass(frozen=True)
+class BlockPlan:
+    """A policy's decision for one dispatch."""
+
+    stop_layer: int
+    desired_cores: int
+    take_cores: int
+    versions: tuple[Schedule, ...]
+
+
+class SpatialScheduler:
+    """Shared dispatch driver for spatial-multitasking policies.
+
+    Subclasses implement :meth:`plan` — given a query and the engine
+    state, return a :class:`BlockPlan` or ``None`` to keep the query
+    queued.  The driver serves continuing queries before new arrivals
+    (a worker finishes its model before taking new work) and FCFS within
+    each queue, and optionally grows conflicted running blocks when cores
+    free up (the paper's conflict-recovery technique).
+    """
+
+    #: Policies that start under-allocated and grow later set this.
+    allow_grow = False
+    #: Admission control: a query's *first* block waits for its full grant
+    #: instead of starting under-allocated (continuation blocks always
+    #: proceed — stalling mid-model wastes the work already done).
+    admit_full_grant_only = False
+    #: A continuation block starts under-allocated only when it gets at
+    #: least this fraction of its demand (0 = always start on whatever is
+    #: free).  Single-layer units must keep crawling-and-growing — that is
+    #: the paper's measured conflict behaviour — so the default is off.
+    min_start_fraction = 0.0
+    #: Conflicted blocks grow in chunks of at least this many cores (or
+    #: the full deficit) — growing one core at a time re-prices the whole
+    #: machine for no benefit.
+    min_grow_cores = 2
+
+    def __init__(self, cost_model: CostModel,
+                 profiles: dict[str, ModelProfile]) -> None:
+        self.cost_model = cost_model
+        self.profiles = profiles
+
+    # -- policy hook ---------------------------------------------------------
+
+    def plan(self, engine: Engine, query: Query) -> BlockPlan | None:
+        raise NotImplementedError
+
+    def profile_for(self, query: Query) -> ModelProfile:
+        try:
+            return self.profiles[query.model.name]
+        except KeyError:
+            raise KeyError(f"no profile for model {query.model.name!r};"
+                           " build_profile() it first") from None
+
+    # -- driver ---------------------------------------------------------------
+
+    def schedule(self, engine: Engine) -> None:
+        if self.allow_grow:
+            self._grow_conflicted(engine)
+        for queue in (engine.ready, engine.waiting):
+            is_new_arrivals = queue is engine.waiting
+            while queue:
+                if engine.allocator.available <= 0:
+                    return
+                plan = self.plan(engine, queue[0])
+                if plan is None or plan.take_cores <= 0:
+                    break  # FCFS head-of-line wait
+                if (is_new_arrivals and self.admit_full_grant_only
+                        and plan.take_cores < plan.desired_cores):
+                    break  # admission control: wait for the full grant
+                if (not is_new_arrivals
+                        and plan.take_cores < plan.desired_cores
+                        * self.min_start_fraction):
+                    break  # too few cores to be worth starting on
+                query = queue.popleft()
+                engine.start_block(query, plan.stop_layer, plan.take_cores,
+                                   plan.versions,
+                                   desired_cores=plan.desired_cores)
+
+    def _grow_conflicted(self, engine: Engine) -> None:
+        """Hand freed cores to under-allocated blocks, oldest first."""
+        blocks = sorted((b for b in engine.running.values()
+                         if b.cores < b.desired_cores),
+                        key=lambda b: b.started_s)
+        for block in blocks:
+            free = engine.allocator.available
+            if free <= 0:
+                return
+            deficit = block.desired_cores - block.cores
+            extra = min(deficit, free)
+            if extra < min(self.min_grow_cores, deficit):
+                continue
+            engine.grow_block(block.task_id, extra)
+
+
+def block_required_cores(cost_model: CostModel, query: Query, start: int,
+                         stop: int, versions: tuple[Schedule, ...],
+                         budget_s: float, interference: float = 0.0,
+                         cap: int | None = None) -> int:
+    """Minimal cores so the block finishes within ``budget_s``.
+
+    Mirrors :meth:`CostModel.required_cores` at block granularity (spawn
+    and launch overheads included).  When the budget is infeasible the
+    cap (or machine size) is returned — the scheduler then runs the block
+    as fast as the cap allows.
+    """
+    limit = cap if cap is not None else cost_model.cpu.cores
+    limit = max(1, min(limit, cost_model.cpu.cores))
+
+    def duration(cores: int) -> float:
+        return block_duration(cost_model, query, start, stop, versions,
+                              cores, interference)
+
+    # Latency over cores is U-shaped (sync tax), so probe a geometric
+    # grid and refine the first feasible point backwards.
+    grid = [c for c in (1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48)
+            if c < limit] + [limit]
+    previous = 1
+    for cores in grid:
+        if duration(cores) <= budget_s:
+            for candidate in range(previous, cores):
+                if duration(candidate) <= budget_s:
+                    return candidate
+            return cores
+        previous = cores
+    # Infeasible under the cap: run at the latency-minimising grid point.
+    return min(grid, key=duration)

@@ -1,0 +1,133 @@
+"""Dynamic threshold-based layer-block formation — paper Alg. 2 + Sec. 4.3.
+
+Blocks are cut at *conflict-prone* layers: a layer whose core requirement
+exceeds ``Avg_C + thres`` starts a new block, and every block's grant is
+capped at that bound — the block absorbs the spike by giving its other
+layers more cores and letting the block meet the summed budget (paper
+Fig. 10a).
+
+The threshold is recomputed at every dispatch from the live system state
+(paper Sec. 4.3): the cores left idle after granting every active model
+its average requirement are distributed to models proportionally to their
+average demand.  Low load => large threshold => big grants and maximal
+resource-usage efficiency; high load => small threshold => demand is
+flattened toward the average and conflicts stay rare.
+
+This scheduler with static versions is the VELTAIR-AS configuration.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.engine import Engine
+from repro.runtime.tasks import Query
+from repro.scheduling.base import (
+    BlockPlan,
+    ModelProfile,
+    SpatialScheduler,
+    block_required_cores,
+)
+
+
+class ProportionalThresholdPolicy:
+    """Paper Sec. 4.3: distribute idle cores proportionally to ``Avg_C``."""
+
+    def threshold_for(self, scheduler: "DynamicBlockScheduler",
+                      engine: Engine, query: Query) -> int:
+        profile = scheduler.profile_for(query)
+        active_queries = {block.query.query_id: block.query
+                          for block in engine.running.values()}
+        active_queries[query.query_id] = query
+        averages = [scheduler.profile_for(q).avg_cores
+                    for q in active_queries.values()]
+        total_average = sum(averages)
+        idle = scheduler.cost_model.cpu.cores - total_average
+        if idle <= 0:
+            return 0
+        return int(idle * profile.avg_cores / total_average)
+
+
+class DynamicBlockScheduler(SpatialScheduler):
+    """Adaptive layer blocks with static (isolation-best) code versions."""
+
+    allow_grow = True
+    admit_full_grant_only = True
+
+    def __init__(self, cost_model, profiles,
+                 threshold_policy: ProportionalThresholdPolicy | None = None,
+                 budget_headroom: float = 0.8) -> None:
+        super().__init__(cost_model, profiles)
+        self.threshold_policy = (threshold_policy
+                                 or ProportionalThresholdPolicy())
+        # Blocks target finishing *ahead* of their summed budget so that
+        # interference jitter and queueing do not push queries over QoS;
+        # the Avg_C + thres cap still bounds how many cores that may cost
+        # (Alg. 2's "no more than Avg_C + thres").
+        if not 0.0 < budget_headroom <= 1.0:
+            raise ValueError("budget_headroom must be in (0, 1]")
+        self.budget_headroom = budget_headroom
+        self._block_req_cache: dict = {}
+
+    # -- version/requirement hooks (overridden by the full scheduler) -----
+
+    def planning_pressure(self, engine: Engine) -> float:
+        """Static configuration ignores interference when planning."""
+        return 0.0
+
+    def version_for(self, query: Query, index: int, pressure: float):
+        return self.profile_for(query).static_versions[index]
+
+    def required_cores_for(self, profile: ModelProfile, index: int,
+                           version, pressure: float) -> int:
+        return profile.layer_required_cores[index]
+
+    # -- Alg. 2 ----------------------------------------------------------------
+
+    def find_first_pivot(self, engine: Engine, query: Query, cap: int,
+                         pressure: float) -> int:
+        """First layer after the block start whose demand exceeds the cap.
+
+        Returns the pivot index (the beginning of the *next* block), or
+        the model length when no later layer is conflict-prone.
+        """
+        profile = self.profile_for(query)
+        start = query.next_layer
+        # "Much higher than the averaged value" (paper Sec. 4.2): only
+        # layers clearly above the cap split a block; borderline layers
+        # are absorbed by the block's shared budget.
+        cutoff = cap * 1.25
+        for index in range(start + 1, len(query.model.layers)):
+            version = self.version_for(query, index, pressure)
+            if self.required_cores_for(profile, index, version,
+                                       pressure) >= cutoff:
+                return index
+        return len(query.model.layers)
+
+    def plan(self, engine: Engine, query: Query) -> BlockPlan | None:
+        available = engine.allocator.available
+        if available <= 0:
+            return None
+        profile = self.profile_for(query)
+        pressure = self.planning_pressure(engine)
+        threshold = self.threshold_policy.threshold_for(self, engine, query)
+        cap = min(self.cost_model.cpu.cores,
+                  max(1, profile.avg_cores + threshold))
+
+        start = query.next_layer
+        stop = self.find_first_pivot(engine, query, cap, pressure)
+        versions = tuple(self.version_for(query, i, pressure)
+                         for i in range(start, stop))
+        budget = (sum(profile.layer_budgets_s[start:stop])
+                  * self.budget_headroom)
+        key = (query.model.name, start, stop, versions, cap, pressure)
+        desired = self._block_req_cache.get(key)
+        if desired is None:
+            desired = block_required_cores(
+                self.cost_model, query, start, stop, versions, budget,
+                interference=pressure, cap=cap)
+            self._block_req_cache[key] = desired
+        return BlockPlan(
+            stop_layer=stop,
+            desired_cores=desired,
+            take_cores=min(desired, available),
+            versions=versions,
+        )

@@ -1,0 +1,95 @@
+"""Layer-wise spatial scheduling — the Planaria-style baseline (Sec. 3.2).
+
+Every layer is allocated its minimal core requirement individually.  When
+the request exceeds the free cores, the layer starts on whatever is
+available and *grows* once cores free up (the paper's conflict-recovery
+technique); each growth pays a thread-spawn overhead, which is exactly
+the per-layer conflict cost the paper measures at ~220 us mean (Fig. 5b).
+
+This is also the granularity substrate of VELTAIR-AC: adaptive
+compilation without adaptive scheduling (:class:`AdaptiveCompilationOnly`)
+selects interference-matched versions but still schedules layer by layer.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.engine import Engine
+from repro.runtime.tasks import Query
+from repro.scheduling.base import BlockPlan, ModelProfile, SpatialScheduler
+
+
+class LayerWiseScheduler(SpatialScheduler):
+    """One layer per scheduling unit, static (isolation-best) versions."""
+
+    allow_grow = True
+
+    def plan(self, engine: Engine, query: Query) -> BlockPlan | None:
+        available = engine.allocator.available
+        if available <= 0:
+            return None
+        profile = self.profile_for(query)
+        index = query.next_layer
+        desired = profile.layer_required_cores[index]
+        return BlockPlan(
+            stop_layer=index + 1,
+            desired_cores=desired,
+            take_cores=min(desired, available),
+            versions=(profile.static_versions[index],),
+        )
+
+
+class AdaptiveCompilationOnly(LayerWiseScheduler):
+    """VELTAIR-AC: adaptive version selection at layer granularity.
+
+    Versions are matched to the current planning pressure, but without
+    layer blocks the tolerant (high-parallelism) versions inflate core
+    demand and conflicts — the interaction paper Sec. 5.2 calls out.
+    """
+
+    admit_full_grant_only = True
+
+    def __init__(self, cost_model, profiles, proxy=None) -> None:
+        super().__init__(cost_model, profiles)
+        self.proxy = proxy
+        self._required_cache: dict = {}
+
+    def interference_estimate(self, engine: Engine) -> float:
+        if self.proxy is not None:
+            miss_rate, accesses = engine.system_counters()
+            if accesses <= 0.0:
+                return 0.0  # idle machine: nothing to interfere with
+            return self.proxy.predict(miss_rate, accesses)
+        return engine.pressure(planning=True)
+
+    def plan(self, engine: Engine, query: Query) -> BlockPlan | None:
+        available = engine.allocator.available
+        if available <= 0:
+            return None
+        profile = self.profile_for(query)
+        index = query.next_layer
+        pressure = round(self.interference_estimate(engine), 2)
+        entry = query.model.layers[index]
+        version = entry.version_for(pressure)
+        desired = self._required_cores(profile, index, version, pressure)
+        return BlockPlan(
+            stop_layer=index + 1,
+            desired_cores=desired,
+            take_cores=min(desired, available),
+            versions=(version,),
+        )
+
+    def _required_cores(self, profile: ModelProfile, index: int, version,
+                        pressure: float) -> int:
+        layer = profile.compiled.graph.layers[index]
+        key = (layer.signature, version, profile.layer_budgets_s[index],
+               pressure)
+        cached = self._required_cache.get(key)
+        if cached is None:
+            launch = self.cost_model.params.layer_launch_s
+            budget = max(profile.layer_budgets_s[index] - launch, 1e-7)
+            cached = self.cost_model.required_cores(layer, version, budget,
+                                                    pressure)
+            if cached is None:
+                cached = self.cost_model.cpu.cores
+            self._required_cache[key] = cached
+        return cached

@@ -1,0 +1,79 @@
+"""Reusable experiment drivers behind the paper's figures.
+
+Each function maps onto one evaluation protocol of Sec. 5; the benchmark
+modules parameterise them per figure and print the paper-shaped series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.serving.metrics import (
+    ServingReport,
+    max_qps_at_satisfaction,
+    summarize,
+)
+from repro.serving.server import ServingStack
+from repro.serving.workload import (
+    WorkloadSpec,
+    poisson_queries,
+    uniform_queries,
+)
+
+
+def reports_over_qps(stack: ServingStack, policy: str, model_name: str,
+                     qps_values: list[float], count: int,
+                     uniform: bool = True,
+                     seed: int | None = None) -> list[ServingReport]:
+    """One report per offered load — the Fig. 3 / Fig. 5a protocol.
+
+    The paper's granularity study streams a single model with identical
+    uniform arrivals; ``uniform=False`` switches to Poisson arrivals.
+    """
+    reports = []
+    for qps in qps_values:
+        if uniform:
+            queries = uniform_queries(stack.compiled, model_name, qps,
+                                      count)
+        else:
+            spec = WorkloadSpec(name=model_name,
+                                entries=((model_name, 1.0),))
+            queries = poisson_queries(stack.compiled, spec, qps, count,
+                                      seed=seed)
+        completed, engine = stack.run(policy, queries)
+        reports.append(summarize(completed, engine.metrics, qps))
+    return reports
+
+
+@dataclass(frozen=True)
+class CapacityResult:
+    """QPS@95% for one (policy, workload) cell of Fig. 12."""
+
+    policy: str
+    workload: str
+    qps: float
+    report: ServingReport
+
+
+def capacity(stack: ServingStack, policy: str, spec: WorkloadSpec,
+             count: int, target: float = 0.95,
+             low_qps: float = 10.0, high_qps: float = 800.0,
+             tolerance_qps: float = 15.0,
+             seed: int | None = None) -> CapacityResult:
+    """Max offered QPS with ``target`` QoS satisfaction (Fig. 12 metric)."""
+    def run_at(qps: float) -> ServingReport:
+        return stack.report(policy, spec, qps, count, seed=seed)
+
+    qps, report = max_qps_at_satisfaction(
+        run_at, target=target, low_qps=low_qps, high_qps=high_qps,
+        tolerance_qps=tolerance_qps)
+    return CapacityResult(policy=policy, workload=spec.name, qps=qps,
+                          report=report)
+
+
+def latency_at_capacity(stack: ServingStack, policy: str,
+                        spec: WorkloadSpec, count: int,
+                        **capacity_kwargs) -> tuple[float, float]:
+    """(capacity QPS, average latency at that QPS) — Fig. 13 protocol."""
+    result = capacity(stack, policy, spec, count, **capacity_kwargs)
+    return result.qps, result.report.average_latency_s

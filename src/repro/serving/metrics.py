@@ -1,0 +1,113 @@
+"""Serving metrics: QoS satisfaction, latency, conflicts, CPU efficiency.
+
+The paper's three evaluation metrics (Sec. 5.1) plus the conflict-rate
+diagnostic of Fig. 5a:
+
+* **QPS with 95% tasks QoS satisfied** — found by
+  :func:`max_qps_at_satisfaction`, a bisection over offered load;
+* **average latency** (Fig. 3b, Fig. 13);
+* **CPU usage efficiency** (Fig. 10b, Fig. 14a) — average and maximum
+  allocated cores over the busy span.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.runtime.engine import SimulationMetrics
+from repro.runtime.tasks import Query
+
+
+@dataclass(frozen=True)
+class ServingReport:
+    """Summary of one simulated serving run."""
+
+    offered_qps: float
+    completed: int
+    satisfaction_rate: float
+    average_latency_s: float
+    p99_latency_s: float
+    conflict_rate: float
+    grows: int
+    average_cores_used: float
+    max_cores_used: int
+    blocks_started: int
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return (f"qps={self.offered_qps:.0f} sat={self.satisfaction_rate:.1%}"
+                f" lat={self.average_latency_s * 1e3:.2f}ms"
+                f" conflicts={self.conflict_rate:.1%}"
+                f" cores(avg/max)={self.average_cores_used:.1f}"
+                f"/{self.max_cores_used}")
+
+
+def summarize(completed: list[Query], metrics: SimulationMetrics,
+              offered_qps: float) -> ServingReport:
+    """Aggregate a finished simulation into a report."""
+    if not completed:
+        return ServingReport(
+            offered_qps=offered_qps, completed=0, satisfaction_rate=0.0,
+            average_latency_s=float("inf"), p99_latency_s=float("inf"),
+            conflict_rate=0.0, grows=metrics.grows,
+            average_cores_used=metrics.average_cores_used,
+            max_cores_used=metrics.max_cores_used,
+            blocks_started=metrics.blocks_started)
+    latencies = np.array([q.latency_s for q in completed])
+    satisfied = sum(1 for q in completed if q.satisfied)
+    blocks = max(1, metrics.blocks_started)
+    return ServingReport(
+        offered_qps=offered_qps,
+        completed=len(completed),
+        satisfaction_rate=satisfied / len(completed),
+        average_latency_s=float(latencies.mean()),
+        p99_latency_s=float(np.percentile(latencies, 99)),
+        conflict_rate=metrics.conflicts / blocks,
+        grows=metrics.grows,
+        average_cores_used=metrics.average_cores_used,
+        max_cores_used=metrics.max_cores_used,
+        blocks_started=metrics.blocks_started,
+    )
+
+
+def max_qps_at_satisfaction(
+        run_at_qps: Callable[[float], ServingReport],
+        target: float = 0.95,
+        low_qps: float = 10.0,
+        high_qps: float = 1200.0,
+        tolerance_qps: float = 10.0) -> tuple[float, ServingReport]:
+    """Largest offered QPS whose satisfaction rate stays above ``target``.
+
+    Bisection over offered load (the paper's QPS-with-95%-QoS metric).
+    ``run_at_qps`` simulates one load level and returns its report.
+    Returns the best passing load and its report; if even ``low_qps``
+    fails, that failing report is returned with the load.
+    """
+    if not 0.0 < target <= 1.0:
+        raise ValueError("target must be in (0, 1]")
+    low_report = run_at_qps(low_qps)
+    if low_report.satisfaction_rate < target:
+        return low_qps, low_report
+    high = high_qps
+    best_qps, best_report = low_qps, low_report
+
+    # Expand the bracket if the ceiling still passes.
+    high_report = run_at_qps(high)
+    while high_report.satisfaction_rate >= target and high < 16 * high_qps:
+        best_qps, best_report = high, high_report
+        high *= 2
+        high_report = run_at_qps(high)
+    if high_report.satisfaction_rate >= target:
+        return high, high_report
+
+    low = best_qps
+    while high - low > tolerance_qps:
+        mid = (low + high) / 2.0
+        report = run_at_qps(mid)
+        if report.satisfaction_rate >= target:
+            low, best_qps, best_report = mid, mid, report
+        else:
+            high = mid
+    return best_qps, best_report

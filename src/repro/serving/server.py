@@ -1,0 +1,138 @@
+"""The serving facade: compile once, then simulate any policy/workload.
+
+:class:`ServingStack` owns the expensive offline artifacts — the cost
+model, the multi-version compiled libraries, the scheduling profiles and
+the fitted interference proxy — and builds fresh engines per run so
+simulations stay independent.  Policies are addressed by name:
+
+========================  ====================================================
+``model_fcfs``            whole-model FCFS (coarse baseline)
+``layerwise``             Planaria-style spatial layer-wise baseline
+``prema``                 PREMA-style temporal multitasking baseline
+``block6`` / ``block11``  static layer blocks (granularity study)
+``veltair_as``            adaptive scheduling only (dynamic blocks)
+``veltair_ac``            adaptive compilation only (layer-wise units)
+``veltair_full``          full VELTAIR (Alg. 3)
+========================  ====================================================
+"""
+
+from __future__ import annotations
+
+from repro.config import DEFAULT_SEED
+from repro.hardware.platform import THREADRIPPER_3990X, CpuSpec
+from repro.compiler.costmodel import CostModel, CostModelParams
+from repro.compiler.library import CompiledModel, ModelCompiler
+from repro.compiler.multiversion import SinglePassCompiler
+from repro.interference.proxy import (
+    LinearInterferenceProxy,
+    collect_aggregate_samples,
+    fit_proxy,
+)
+from repro.models.registry import get_entry, get_model, model_names
+from repro.runtime.engine import Engine
+from repro.runtime.tasks import Query
+from repro.scheduling.base import ModelProfile, build_profile
+from repro.scheduling.dynamic_block import DynamicBlockScheduler
+from repro.scheduling.fcfs_model import ModelWiseFcfs
+from repro.scheduling.fixed_block import FixedBlockScheduler
+from repro.scheduling.layerwise import (
+    AdaptiveCompilationOnly,
+    LayerWiseScheduler,
+)
+from repro.scheduling.prema import PremaScheduler
+from repro.scheduling.veltair import VeltairScheduler
+from repro.serving.metrics import ServingReport, summarize
+from repro.serving.workload import WorkloadSpec, poisson_queries
+
+POLICIES = ("model_fcfs", "layerwise", "prema", "block6", "block11",
+            "veltair_as", "veltair_ac", "veltair_full")
+
+
+class ServingStack:
+    """Offline artifacts + per-run engine construction."""
+
+    def __init__(self, cpu: CpuSpec | None = None,
+                 params: CostModelParams | None = None,
+                 models: list[str] | None = None,
+                 trials: int = 256,
+                 use_proxy: bool = True,
+                 proxy_scenarios: int = 240,
+                 seed: int = DEFAULT_SEED) -> None:
+        self.cpu = cpu or THREADRIPPER_3990X
+        self.cost_model = CostModel(self.cpu, params)
+        self.compiler = ModelCompiler(
+            self.cost_model,
+            SinglePassCompiler(self.cost_model, trials=trials, seed=seed))
+        self.seed = seed
+
+        names = models if models is not None else model_names()
+        self.compiled: dict[str, CompiledModel] = {}
+        self.profiles: dict[str, ModelProfile] = {}
+        for name in names:
+            compiled = self.compiler.compile_model(get_model(name),
+                                                   get_entry(name).qos_s)
+            self.compiled[name] = compiled
+            self.profiles[name] = build_profile(self.cost_model, compiled)
+
+        self.proxy: LinearInterferenceProxy | None = None
+        if use_proxy:
+            samples = collect_aggregate_samples(
+                self.cost_model, list(self.compiled.values()),
+                scenarios=proxy_scenarios, seed=seed)
+            self.proxy = fit_proxy(samples)
+
+    # ------------------------------------------------------------------
+
+    def make_scheduler(self, policy: str):
+        """Instantiate a named policy bound to this stack's artifacts."""
+        if policy == "model_fcfs":
+            return ModelWiseFcfs(self.cost_model, self.profiles)
+        if policy == "layerwise":
+            return LayerWiseScheduler(self.cost_model, self.profiles)
+        if policy == "prema":
+            return PremaScheduler(self.cost_model, self.profiles)
+        if policy.startswith("block"):
+            size = int(policy.removeprefix("block"))
+            return FixedBlockScheduler(self.cost_model, self.profiles,
+                                       block_size=size)
+        if policy == "veltair_as":
+            return DynamicBlockScheduler(self.cost_model, self.profiles)
+        if policy == "veltair_ac":
+            return AdaptiveCompilationOnly(self.cost_model, self.profiles,
+                                           proxy=self.proxy)
+        if policy == "veltair_full":
+            return VeltairScheduler(self.cost_model, self.profiles,
+                                    proxy=self.proxy)
+        raise ValueError(f"unknown policy {policy!r}; known: {POLICIES}")
+
+    def run(self, policy: str,
+            queries: list[Query]) -> tuple[list[Query], Engine]:
+        """Simulate one query stream; returns (completed, engine)."""
+        engine = Engine(self.cost_model)
+        scheduler = self.make_scheduler(policy)
+        completed = engine.run(queries, scheduler)
+        return completed, engine
+
+    def report(self, policy: str, spec: WorkloadSpec, qps: float,
+               count: int, seed: int | None = None) -> ServingReport:
+        """Generate a Poisson stream, simulate it, and summarise."""
+        queries = poisson_queries(self.compiled, spec, qps, count,
+                                  seed=self.seed if seed is None else seed)
+        completed, engine = self.run(policy, queries)
+        return summarize(completed, engine.metrics, qps)
+
+    # ------------------------------------------------------------------
+
+    def isolated_model_latency(self, name: str,
+                               cores: int | None = None) -> float:
+        """Solo-run latency: the model alone on the machine (Fig. 13 base)."""
+        compiled = self.compiled[name]
+        profile = self.profiles[name]
+        cores = cores if cores is not None else self.cpu.cores
+        launch = self.cost_model.params.layer_launch_s
+        total = self.cost_model.spawn_overhead(cores)
+        for layer, version in zip(compiled.graph.layers,
+                                  profile.static_versions):
+            total += self.cost_model.latency(layer, version, cores,
+                                             0.0) + launch
+        return total

@@ -1,0 +1,184 @@
+"""Cost model tests: the paper's performance phenomena as invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import make_rng
+from repro.hardware.platform import THREADRIPPER_3990X
+from repro.models.layers import Conv2D, Pool
+from repro.compiler.costmodel import CostModel, CostModelParams
+from repro.compiler.schedule import Schedule
+from repro.compiler.space import ScheduleSpace
+
+
+@pytest.fixture(scope="module")
+def model():
+    return CostModel(THREADRIPPER_3990X)
+
+
+@pytest.fixture(scope="module")
+def schedule(conv_layer):
+    return ScheduleSpace.for_layer(conv_layer).make(
+        tile_m=49, tile_n=64, tile_k=512, parallel_chunks=64)
+
+
+class TestBasicProperties:
+    def test_latency_positive(self, model, conv_layer, schedule):
+        assert model.latency(conv_layer, schedule, 16) > 0
+
+    def test_rejects_zero_cores(self, model, conv_layer, schedule):
+        with pytest.raises(ValueError):
+            model.latency(conv_layer, schedule, 0)
+
+    def test_interference_clamped(self, model, conv_layer, schedule):
+        low = model.latency(conv_layer, schedule, 16, -5.0)
+        base = model.latency(conv_layer, schedule, 16, 0.0)
+        high = model.latency(conv_layer, schedule, 16, 7.0)
+        capped = model.latency(conv_layer, schedule, 16, 1.0)
+        assert low == base
+        assert high == capped
+
+    def test_memoization_returns_identical(self, model, conv_layer,
+                                           schedule):
+        a = model.execution(conv_layer, schedule, 16, 0.5)
+        b = model.execution(conv_layer, schedule, 16, 0.5)
+        assert a is b
+
+    @given(st.floats(0.0, 1.0), st.floats(0.0, 1.0))
+    @settings(max_examples=50, deadline=None)
+    def test_latency_monotonic_in_interference(self, i1, i2):
+        model = CostModel(THREADRIPPER_3990X)
+        layer = Conv2D(name="c", height=14, width=14, in_channels=256,
+                       out_channels=256)
+        sched = ScheduleSpace.for_layer(layer).make(49, 64, 512, 64)
+        lo, hi = sorted((i1, i2))
+        assert (model.latency(layer, sched, 16, lo)
+                <= model.latency(layer, sched, 16, hi) + 1e-12)
+
+    def test_more_cores_helps_at_low_counts(self, model, conv_layer,
+                                            schedule):
+        assert (model.latency(conv_layer, schedule, 8)
+                < model.latency(conv_layer, schedule, 2))
+
+    def test_cores_capped_by_chunks(self, model, conv_layer):
+        one_chunk = Schedule(tile_m=196, tile_n=256, tile_k=2304,
+                             parallel_chunks=1)
+        exe = model.execution(conv_layer, one_chunk, 64)
+        assert exe.cores_used == 1
+
+    def test_slowdown_reported(self, model, conv_layer, schedule):
+        exe = model.execution(conv_layer, schedule, 16, 0.8)
+        assert exe.slowdown > 1.0
+        iso = model.execution(conv_layer, schedule, 16, 0.0)
+        assert iso.slowdown == pytest.approx(1.0)
+
+
+class TestPaperPhenomena:
+    """The compilation insights of paper Sec. 3.3 / 4.1, as assertions."""
+
+    def _best(self, model, layer, interference, cores=32, count=800):
+        space = ScheduleSpace.for_layer(layer)
+        samples = space.sample_many(count, make_rng(1))
+        return min(samples,
+                   key=lambda s: model.latency(layer, s, cores,
+                                               interference))
+
+    def test_iso_best_degrades_by_multiples(self, model, conv_layer):
+        best = self._best(model, conv_layer, 0.0)
+        degradation = (model.latency(conv_layer, best, 32, 1.0)
+                       / model.latency(conv_layer, best, 32, 0.0))
+        assert degradation > 2.5  # paper Fig. 6a: up to ~7x
+
+    def test_tolerant_version_stays_flat(self, model, conv_layer):
+        tolerant = self._best(model, conv_layer, 1.0)
+        degradation = (model.latency(conv_layer, tolerant, 32, 1.0)
+                       / model.latency(conv_layer, tolerant, 32, 0.0))
+        assert degradation < 1.6
+
+    def test_crossover_exists(self, model, conv_layer):
+        iso_best = self._best(model, conv_layer, 0.0)
+        tolerant = self._best(model, conv_layer, 1.0)
+        assert (model.latency(conv_layer, iso_best, 32, 0.0)
+                <= model.latency(conv_layer, tolerant, 32, 0.0))
+        assert (model.latency(conv_layer, tolerant, 32, 1.0)
+                < model.latency(conv_layer, iso_best, 32, 1.0))
+
+    def test_speedup_saturates(self, model, conv_layer, schedule):
+        t8 = model.latency(conv_layer, schedule, 8)
+        t56 = model.latency(conv_layer, schedule, 56)
+        speedup = t8 / t56
+        assert 1.5 < speedup < 7.0  # paper Fig. 4a range
+
+
+class TestRequiredCores:
+    def test_meets_budget(self, model, conv_layer, schedule):
+        generous = model.latency(conv_layer, schedule, 4)
+        cores = model.required_cores(conv_layer, schedule, generous)
+        assert cores is not None
+        assert model.latency(conv_layer, schedule, cores) <= generous
+
+    def test_minimality(self, model, conv_layer, schedule):
+        budget = model.latency(conv_layer, schedule, 16) * 1.01
+        cores = model.required_cores(conv_layer, schedule, budget)
+        assert cores is not None
+        if cores > 1:
+            assert model.latency(conv_layer, schedule, cores - 1) > budget
+
+    def test_impossible_budget_returns_none(self, model, conv_layer,
+                                            schedule):
+        assert model.required_cores(conv_layer, schedule, 1e-9) is None
+
+    def test_zero_budget_returns_none(self, model, conv_layer, schedule):
+        assert model.required_cores(conv_layer, schedule, 0.0) is None
+
+
+class TestCountersAndPressure:
+    def test_miss_rate_bounded(self, model, conv_layer, schedule):
+        for interference in (0.0, 0.5, 1.0):
+            exe = model.execution(conv_layer, schedule, 16, interference)
+            assert 0.0 <= exe.llc_miss_rate <= 1.0
+
+    def test_misses_grow_with_interference(self, model, conv_layer,
+                                           schedule):
+        iso = model.execution(conv_layer, schedule, 16, 0.0)
+        hot = model.execution(conv_layer, schedule, 16, 1.0)
+        assert hot.dram_bytes >= iso.dram_bytes
+
+    def test_pressure_contribution_in_unit_interval(self, model,
+                                                    small_layers):
+        for layer in small_layers:
+            sched = ScheduleSpace.for_layer(layer).default_schedule()
+            assert 0.0 <= model.pressure_contribution(layer, sched,
+                                                      16) <= 1.0
+
+    def test_llc_occupancy_bounded_by_data(self, model, conv_layer,
+                                           schedule):
+        occupancy = model.llc_occupancy(conv_layer, schedule, 16)
+        assert 0 < occupancy <= conv_layer.data_bytes
+
+    def test_bandwidth_demand_positive(self, model, conv_layer, schedule):
+        assert model.bandwidth_demand(conv_layer, schedule, 16) > 0
+
+    def test_memory_bound_layer_accounts_memory_time(self, model):
+        pool = Pool(name="p", height=56, width=56, channels=256)
+        sched = ScheduleSpace.for_layer(pool).default_schedule()
+        exe = model.execution(pool, sched, 16)
+        assert exe.mem_s > 0
+        assert exe.total_s >= exe.mem_s
+
+
+class TestOverheads:
+    def test_spawn_grows_with_cores(self, model):
+        assert model.spawn_overhead(32) > model.spawn_overhead(4) > 0
+
+    def test_expand_matches_paper_scale(self, model):
+        # Paper Fig. 5b: conflict overhead mean ~220us; growing by ~30
+        # cores should land in the right decade.
+        overhead = model.expand_overhead(30)
+        assert 50e-6 < overhead < 1e-3
+
+    def test_params_are_tunable(self):
+        params = CostModelParams(cache_sensitivity=2.0)
+        model = CostModel(THREADRIPPER_3990X, params)
+        assert model.params.cache_sensitivity == 2.0

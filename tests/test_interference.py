@@ -1,0 +1,140 @@
+"""Interference state, counters, PCA, and linear-proxy tests."""
+
+import pytest
+
+from repro.hardware.counters import COUNTER_NAMES, counters_from_execution
+from repro.interference.model import InterferenceState, RunningTask
+from repro.interference.proxy import (
+    collect_aggregate_samples,
+    collect_samples,
+    fit_proxy,
+    pca_analysis,
+    proxy_accuracy,
+)
+from repro.compiler.space import ScheduleSpace
+
+
+class TestRunningTask:
+    def test_rejects_out_of_range_pressure(self):
+        with pytest.raises(ValueError):
+            RunningTask(task_id=1, pressure=1.5)
+
+    def test_rejects_bad_remaining(self):
+        with pytest.raises(ValueError):
+            RunningTask(task_id=1, pressure=0.5, remaining_fraction=-0.1)
+
+
+class TestInterferenceState:
+    def _state(self):
+        state = InterferenceState()
+        state.add(RunningTask(task_id=1, pressure=0.3))
+        state.add(RunningTask(task_id=2, pressure=0.4))
+        return state
+
+    def test_excludes_self(self):
+        state = self._state()
+        assert state.pressure_for(1) == pytest.approx(0.4)
+        assert state.pressure_for(2) == pytest.approx(0.3)
+
+    def test_newcomer_sees_everything(self):
+        assert self._state().pressure_for(None) == pytest.approx(0.7)
+
+    def test_caps_at_one(self):
+        state = self._state()
+        state.add(RunningTask(task_id=3, pressure=0.9))
+        assert state.pressure_for(None) == 1.0
+
+    def test_soon_to_finish_filter(self):
+        state = self._state()
+        state.update_remaining(2, 0.05)  # below the 10% threshold
+        assert state.pressure_for(1, planning=True) == pytest.approx(0.0)
+        assert state.pressure_for(1, planning=False) == pytest.approx(0.4)
+
+    def test_remove(self):
+        state = self._state()
+        state.remove(1)
+        assert len(state) == 1
+        assert state.total_pressure() == pytest.approx(0.4)
+
+
+class TestCounters:
+    def test_counter_vector_matches_names(self, cost_model, conv_layer):
+        sched = ScheduleSpace.for_layer(conv_layer).default_schedule()
+        exe = cost_model.execution(conv_layer, sched, 16, 0.3)
+        counters = counters_from_execution(exe,
+                                           cost_model.cpu.frequency_hz)
+        assert len(counters.as_vector()) == len(COUNTER_NAMES)
+
+    def test_miss_rate_rises_with_interference(self, cost_model,
+                                               conv_layer):
+        sched = ScheduleSpace.for_layer(conv_layer).make(196, 64, 2304, 64)
+        freq = cost_model.cpu.frequency_hz
+        iso = counters_from_execution(
+            cost_model.execution(conv_layer, sched, 16, 0.0), freq)
+        hot = counters_from_execution(
+            cost_model.execution(conv_layer, sched, 16, 1.0), freq)
+        assert hot.l3_miss_rate >= iso.l3_miss_rate
+
+
+class TestProxyPipeline:
+    @pytest.fixture(scope="class")
+    def samples(self, resnet_stack):
+        return collect_samples(resnet_stack.cost_model,
+                               list(resnet_stack.compiled.values()),
+                               scenarios=200, seed=3)
+
+    def test_sample_count(self, samples):
+        assert len(samples) == 200
+
+    def test_pca_l3_dominates(self, samples):
+        report = pca_analysis(samples)
+        dominant = report.dominant_counters(threshold=0.05)
+        assert "l3_miss_rate" in dominant or "l3_accesses_per_s" in dominant
+        # Code-shape counters carry no interference signal (Fig. 11a).
+        assert "branch_miss_rate" not in dominant
+        assert report.explained_ratio[0] > 0.4
+
+    def test_pca_needs_samples(self, samples):
+        with pytest.raises(ValueError):
+            pca_analysis(samples[:2])
+
+    def test_linear_proxy_accuracy(self, samples):
+        import numpy as np
+
+        proxy = fit_proxy(samples)
+        stats = proxy_accuracy(proxy, samples)
+        # Per-task windows are far noisier than the chip-wide monitor the
+        # runtime uses (see TestAggregateSamples): layer identity dominates
+        # a single task's miss rate.  Require bounded error and a positive
+        # pressure signal rather than a tight fit.
+        assert stats["mae"] < 0.3
+        predicted = np.array([proxy.predict_sample(s) for s in samples])
+        actual = np.array([s.measured_interference for s in samples])
+        assert np.corrcoef(predicted, actual)[0, 1] > 0.1
+
+    def test_proxy_prediction_clamped(self, samples):
+        proxy = fit_proxy(samples)
+        assert 0.0 <= proxy.predict(0.0, 0.0) <= 1.0
+        assert 0.0 <= proxy.predict(1.0, 1e12) <= 1.0
+
+    def test_fit_needs_samples(self, samples):
+        with pytest.raises(ValueError):
+            fit_proxy(samples[:3])
+
+
+class TestAggregateSamples:
+    def test_aggregate_windows(self, resnet_stack):
+        samples = collect_aggregate_samples(
+            resnet_stack.cost_model, list(resnet_stack.compiled.values()),
+            scenarios=100, seed=5)
+        assert len(samples) == 100
+        assert all(0.0 <= s.measured_interference <= 1.0 for s in samples)
+        assert all(s.measured_slowdown >= 1.0 for s in samples)
+
+    def test_aggregate_proxy_usable(self, resnet_stack):
+        samples = collect_aggregate_samples(
+            resnet_stack.cost_model, list(resnet_stack.compiled.values()),
+            scenarios=200, seed=6)
+        proxy = fit_proxy(samples)
+        stats = proxy_accuracy(proxy, samples)
+        assert stats["mae"] < 0.2

@@ -1,0 +1,204 @@
+"""Core allocator and discrete-event engine tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.allocator import AllocationError, CoreAllocator
+from repro.runtime.engine import Engine
+from repro.runtime.tasks import Query, block_duration
+from repro.serving.workload import uniform_queries
+
+
+class TestAllocator:
+    def test_grant_and_release(self):
+        alloc = CoreAllocator(8)
+        alloc.allocate(1, 5)
+        assert alloc.available == 3
+        assert alloc.release(1) == 5
+        assert alloc.available == 8
+
+    def test_over_allocation_rejected(self):
+        alloc = CoreAllocator(8)
+        alloc.allocate(1, 5)
+        with pytest.raises(AllocationError):
+            alloc.allocate(2, 4)
+
+    def test_double_allocation_rejected(self):
+        alloc = CoreAllocator(8)
+        alloc.allocate(1, 2)
+        with pytest.raises(AllocationError):
+            alloc.allocate(1, 2)
+
+    def test_grow(self):
+        alloc = CoreAllocator(8)
+        alloc.allocate(1, 2)
+        alloc.grow(1, 3)
+        assert alloc.held_by(1) == 5
+
+    def test_grow_unknown_holder_rejected(self):
+        alloc = CoreAllocator(8)
+        with pytest.raises(AllocationError):
+            alloc.grow(1, 1)
+
+    def test_release_unknown_holder_rejected(self):
+        alloc = CoreAllocator(8)
+        with pytest.raises(AllocationError):
+            alloc.release(7)
+
+    def test_rejects_zero_total(self):
+        with pytest.raises(ValueError):
+            CoreAllocator(0)
+
+    @given(st.lists(st.tuples(st.sampled_from(["alloc", "grow", "release"]),
+                              st.integers(1, 5), st.integers(1, 16)),
+                    max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_invariant_never_exceeds_total(self, ops):
+        alloc = CoreAllocator(16)
+        for op, holder, cores in ops:
+            try:
+                if op == "alloc":
+                    alloc.allocate(holder, cores)
+                elif op == "grow":
+                    alloc.grow(holder, cores)
+                else:
+                    alloc.release(holder)
+            except AllocationError:
+                pass
+            assert 0 <= alloc.used <= 16
+            assert alloc.available == 16 - alloc.used
+
+
+class _WholeModelScheduler:
+    """Minimal policy for engine tests: whole model, fixed cores."""
+
+    def __init__(self, stack, cores):
+        self.stack = stack
+        self.cores = cores
+
+    def schedule(self, engine):
+        for queue in (engine.ready, engine.waiting):
+            while queue and engine.allocator.available >= self.cores:
+                query = queue.popleft()
+                profile = self.stack.profiles[query.model.name]
+                engine.start_block(
+                    query, len(query.model.layers), self.cores,
+                    profile.static_versions)
+
+
+class TestBlockDuration:
+    def test_rejects_bad_range(self, resnet_stack):
+        queries = uniform_queries(resnet_stack.compiled, "resnet50", 10, 1)
+        profile = resnet_stack.profiles["resnet50"]
+        with pytest.raises(ValueError):
+            block_duration(resnet_stack.cost_model, queries[0], 5, 5,
+                           (), 8, 0.0)
+
+    def test_rejects_version_mismatch(self, resnet_stack):
+        queries = uniform_queries(resnet_stack.compiled, "resnet50", 10, 1)
+        profile = resnet_stack.profiles["resnet50"]
+        with pytest.raises(ValueError):
+            block_duration(resnet_stack.cost_model, queries[0], 0, 3,
+                           profile.static_versions[0:2], 8, 0.0)
+
+    def test_block_slower_under_interference(self, resnet_stack):
+        queries = uniform_queries(resnet_stack.compiled, "resnet50", 10, 1)
+        profile = resnet_stack.profiles["resnet50"]
+        versions = profile.static_versions[0:5]
+        quiet = block_duration(resnet_stack.cost_model, queries[0], 0, 5,
+                               versions, 16, 0.0)
+        noisy = block_duration(resnet_stack.cost_model, queries[0], 0, 5,
+                               versions, 16, 0.9)
+        assert noisy > quiet
+
+
+class TestEngine:
+    def test_single_query_completes(self, resnet_stack):
+        queries = uniform_queries(resnet_stack.compiled, "resnet50", 10, 1)
+        engine = Engine(resnet_stack.cost_model)
+        done = engine.run(queries, _WholeModelScheduler(resnet_stack, 32))
+        assert len(done) == 1
+        assert done[0].finished_s > done[0].arrival_s
+
+    def test_all_queries_complete(self, resnet_stack):
+        queries = uniform_queries(resnet_stack.compiled, "resnet50", 50, 20)
+        engine = Engine(resnet_stack.cost_model)
+        done = engine.run(queries, _WholeModelScheduler(resnet_stack, 16))
+        assert len(done) == 20
+        assert all(q.done for q in done)
+
+    def test_time_monotonic_completion(self, resnet_stack):
+        queries = uniform_queries(resnet_stack.compiled, "resnet50", 50, 15)
+        engine = Engine(resnet_stack.cost_model)
+        done = engine.run(queries, _WholeModelScheduler(resnet_stack, 16))
+        finishes = [q.finished_s for q in done]
+        assert finishes == sorted(finishes)
+
+    def test_colocated_slower_than_solo(self, resnet_stack):
+        solo = uniform_queries(resnet_stack.compiled, "resnet50", 1, 1)
+        engine = Engine(resnet_stack.cost_model)
+        solo_done = engine.run(solo, _WholeModelScheduler(resnet_stack, 16))
+        solo_latency = solo_done[0].latency_s
+
+        # Simultaneous arrivals: three 16-core tenants co-run.
+        burst = uniform_queries(resnet_stack.compiled, "resnet50", 1000, 3)
+        engine = Engine(resnet_stack.cost_model)
+        busy_done = engine.run(burst, _WholeModelScheduler(resnet_stack, 16))
+        assert max(q.latency_s for q in busy_done) > solo_latency
+
+    def test_core_accounting(self, resnet_stack):
+        queries = uniform_queries(resnet_stack.compiled, "resnet50", 50, 5)
+        engine = Engine(resnet_stack.cost_model)
+        done = engine.run(queries, _WholeModelScheduler(resnet_stack, 16))
+        assert engine.allocator.used == 0
+        assert engine.metrics.max_cores_used <= resnet_stack.cpu.cores
+        assert engine.metrics.usage_core_seconds > 0
+        for query in done:
+            assert query.core_seconds > 0
+
+    def test_pressure_zero_when_idle(self, resnet_stack):
+        engine = Engine(resnet_stack.cost_model)
+        assert engine.pressure() == 0.0
+        assert engine.system_counters() == (0.0, 0.0)
+
+    def test_grow_block(self, resnet_stack):
+        queries = uniform_queries(resnet_stack.compiled, "resnet50", 10, 1)
+        engine = Engine(resnet_stack.cost_model)
+
+        class GrowOnce:
+            def __init__(self, stack):
+                self.stack = stack
+                self.grown = False
+
+            def schedule(self, engine):
+                while engine.waiting:
+                    query = engine.waiting.popleft()
+                    profile = self.stack.profiles[query.model.name]
+                    engine.start_block(query, len(query.model.layers), 8,
+                                       profile.static_versions,
+                                       desired_cores=24)
+                if engine.running and not self.grown:
+                    task_id = next(iter(engine.running))
+                    engine.grow_block(task_id, 16)
+                    self.grown = True
+
+        done = engine.run(queries, GrowOnce(resnet_stack))
+        assert len(done) == 1
+        assert done[0].grows == 1
+        assert engine.metrics.conflicts == 1
+
+    def test_query_latency_requires_completion(self, resnet_stack):
+        queries = uniform_queries(resnet_stack.compiled, "resnet50", 10, 1)
+        with pytest.raises(ValueError):
+            _ = queries[0].latency_s
+
+    def test_deadlock_detected(self, resnet_stack):
+        class NeverStarts:
+            def schedule(self, engine):
+                return
+
+        queries = uniform_queries(resnet_stack.compiled, "resnet50", 10, 1)
+        engine = Engine(resnet_stack.cost_model)
+        with pytest.raises(RuntimeError, match="deadlock"):
+            engine.run(queries, NeverStarts())

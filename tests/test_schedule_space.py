@@ -1,0 +1,150 @@
+"""Schedule, schedule-space, and traffic-math tests (incl. hypothesis)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import make_rng
+from repro.models.layers import Conv2D, GemmShape
+from repro.compiler.schedule import (
+    Schedule,
+    fit_tiles_to_budget,
+    gemm_traffic_bytes,
+    num_tiles,
+)
+from repro.compiler.space import ScheduleSpace, UNROLL_CANDIDATES
+
+GEMMS = st.builds(
+    GemmShape,
+    m=st.integers(min_value=1, max_value=4096),
+    n=st.integers(min_value=1, max_value=2048),
+    k=st.integers(min_value=1, max_value=4096),
+)
+
+
+class TestSchedule:
+    def test_rejects_non_positive_fields(self):
+        with pytest.raises(ValueError):
+            Schedule(tile_m=0, tile_n=1, tile_k=1, parallel_chunks=1)
+
+    def test_paper_metrics(self):
+        s = Schedule(tile_m=32, tile_n=64, tile_k=128, parallel_chunks=16,
+                     unroll=4)
+        assert s.parallelism == 64
+        assert s.blocking_size == 32 * 64
+
+    def test_footprint_formula(self):
+        s = Schedule(tile_m=2, tile_n=3, tile_k=5, parallel_chunks=1)
+        assert s.tile_footprint_bytes == 4 * (2 * 5 + 5 * 3 + 2 * 3)
+
+    def test_legality(self):
+        gemm = GemmShape(16, 16, 16)
+        assert Schedule(tile_m=16, tile_n=16, tile_k=16,
+                        parallel_chunks=1).is_legal_for(gemm)
+        assert not Schedule(tile_m=32, tile_n=16, tile_k=16,
+                            parallel_chunks=1).is_legal_for(gemm)
+        # Too many chunks for one tile.
+        assert not Schedule(tile_m=16, tile_n=16, tile_k=16,
+                            parallel_chunks=2).is_legal_for(gemm)
+
+    @given(GEMMS)
+    @settings(max_examples=60, deadline=None)
+    def test_clipped_always_legal(self, gemm):
+        raw = Schedule(tile_m=4096, tile_n=4096, tile_k=4096,
+                       parallel_chunks=4096, unroll=16)
+        assert raw.clipped_to(gemm).is_legal_for(gemm)
+
+    def test_num_tiles(self):
+        gemm = GemmShape(100, 60, 7)
+        s = Schedule(tile_m=32, tile_n=32, tile_k=7, parallel_chunks=1)
+        assert num_tiles(gemm, s) == 4 * 2
+
+
+class TestGemmTraffic:
+    def test_full_tiles_give_compulsory(self):
+        gemm = GemmShape(64, 64, 64)
+        traffic = gemm_traffic_bytes(gemm, 64, 64, 64)
+        compulsory = 4 * (64 * 64 * 4)
+        assert traffic == pytest.approx(compulsory)
+
+    @given(GEMMS, st.integers(1, 256), st.integers(1, 256))
+    @settings(max_examples=60, deadline=None)
+    def test_never_below_compulsory(self, gemm, tile_m, tile_n):
+        compulsory = 4.0 * (gemm.m * gemm.k + gemm.k * gemm.n
+                            + 2 * gemm.m * gemm.n)
+        assert gemm_traffic_bytes(gemm, tile_m, tile_n,
+                                  gemm.k) >= compulsory - 1e-6
+
+    @given(GEMMS)
+    @settings(max_examples=60, deadline=None)
+    def test_bigger_tiles_never_more_traffic(self, gemm):
+        small = gemm_traffic_bytes(gemm, 8, 8, 8)
+        large = gemm_traffic_bytes(gemm, 64, 64, 64)
+        assert large <= small + 1e-6
+
+
+class TestFitTilesToBudget:
+    def test_untouched_when_fits(self):
+        assert fit_tiles_to_budget(8, 8, 8, budget_bytes=1e9) == (8, 8, 8)
+
+    @given(st.integers(4, 2048), st.integers(4, 2048), st.integers(8, 2048),
+           st.floats(min_value=1e3, max_value=1e8))
+    @settings(max_examples=80, deadline=None)
+    def test_shrinks_m_n_only_and_never_grows(self, tm, tn, tk, budget):
+        fm, fn, fk = fit_tiles_to_budget(tm, tn, tk, budget)
+        assert fk == tk
+        assert 1 <= fm <= tm
+        assert 1 <= fn <= tn
+
+    def test_zero_budget_floors(self):
+        fm, fn, fk = fit_tiles_to_budget(128, 128, 64, 0.0)
+        assert (fm, fn) == (4, 4)
+
+
+class TestScheduleSpace:
+    def test_candidates_bounded_by_extent(self, conv_layer):
+        space = ScheduleSpace.for_layer(conv_layer)
+        gemm = conv_layer.gemm
+        assert max(space.tile_m_candidates()) == gemm.m
+        assert max(space.tile_n_candidates()) == gemm.n
+        assert max(space.tile_k_candidates()) == gemm.k
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_samples_always_legal(self, seed):
+        layer = Conv2D(name="c", height=14, width=14, in_channels=256,
+                       out_channels=256)
+        space = ScheduleSpace.for_layer(layer)
+        sample = space.sample(make_rng(seed))
+        assert sample.is_legal_for(layer.gemm)
+        assert sample.unroll in UNROLL_CANDIDATES
+
+    @given(st.integers(0, 2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_neighbours_always_legal(self, seed):
+        layer = Conv2D(name="c", height=14, width=14, in_channels=256,
+                       out_channels=256)
+        space = ScheduleSpace.for_layer(layer)
+        rng = make_rng(seed)
+        schedule = space.sample(rng)
+        for _ in range(5):
+            schedule = space.neighbours(schedule, rng)
+            assert schedule.is_legal_for(layer.gemm)
+
+    def test_sample_many_unique(self, conv_layer):
+        space = ScheduleSpace.for_layer(conv_layer)
+        samples = space.sample_many(100, make_rng(0))
+        assert len(samples) == len(set(samples))
+
+    def test_default_schedule_legal(self, small_layers):
+        for layer in small_layers:
+            space = ScheduleSpace.for_layer(layer)
+            assert space.default_schedule().is_legal_for(layer.gemm)
+
+    def test_make_clips(self, conv_layer):
+        space = ScheduleSpace.for_layer(conv_layer)
+        schedule = space.make(10_000, 10_000, 10_000, 10_000)
+        assert schedule.is_legal_for(conv_layer.gemm)
+
+    def test_space_size_positive(self, conv_layer):
+        assert ScheduleSpace.for_layer(conv_layer).size() > 100

@@ -1,0 +1,216 @@
+"""Policy tests: each scheduler's defining behaviour on small streams."""
+
+import pytest
+
+from repro.runtime.engine import Engine
+from repro.serving.workload import poisson_queries, uniform_queries
+from repro.serving.metrics import summarize
+from repro.scheduling.dynamic_block import ProportionalThresholdPolicy
+
+
+def _serve(stack, policy, model="resnet50", qps=50, count=40):
+    queries = uniform_queries(stack.compiled, model, qps, count)
+    engine = Engine(stack.cost_model)
+    scheduler = stack.make_scheduler(policy)
+    done = engine.run(queries, scheduler)
+    return done, engine
+
+
+class TestAllPoliciesServeLowLoad:
+    @pytest.mark.parametrize("policy", [
+        "model_fcfs", "layerwise", "block6", "block11",
+        "veltair_as", "veltair_ac", "veltair_full", "prema",
+    ])
+    def test_low_load_all_queries_complete(self, resnet_stack, policy):
+        done, engine = _serve(resnet_stack, policy, qps=30, count=25)
+        assert len(done) == 25
+        assert engine.allocator.used == 0
+
+
+class TestModelWiseFcfs:
+    def test_whole_model_single_block(self, resnet_stack):
+        done, engine = _serve(resnet_stack, "model_fcfs", count=10)
+        assert all(q.blocks == 1 for q in done)
+
+    def test_no_conflicts_by_design(self, resnet_stack):
+        done, engine = _serve(resnet_stack, "model_fcfs", qps=200,
+                              count=40)
+        assert engine.metrics.conflicts == 0
+
+    def test_fixed_grant(self, resnet_stack):
+        profile = resnet_stack.profiles["resnet50"]
+        done, engine = _serve(resnet_stack, "model_fcfs", count=5)
+        assert engine.metrics.max_cores_used % profile.model_cores == 0
+
+
+class TestLayerWise:
+    def test_one_block_per_layer(self, resnet_stack):
+        done, _ = _serve(resnet_stack, "layerwise", qps=20, count=5)
+        layers = len(resnet_stack.compiled["resnet50"].layers)
+        assert all(q.blocks == layers for q in done)
+
+    def test_conflicts_rise_with_load(self, resnet_stack):
+        _, quiet = _serve(resnet_stack, "layerwise", qps=30, count=40)
+        _, busy = _serve(resnet_stack, "layerwise", qps=150, count=40)
+        quiet_rate = quiet.metrics.conflicts / quiet.metrics.blocks_started
+        busy_rate = busy.metrics.conflicts / busy.metrics.blocks_started
+        assert busy_rate >= quiet_rate
+
+    def test_conflicted_blocks_grow(self, resnet_stack):
+        _, engine = _serve(resnet_stack, "layerwise", qps=150, count=40)
+        assert engine.metrics.grows > 0
+
+
+class TestFixedBlocks:
+    def test_block_count_matches_size(self, resnet_stack):
+        done, _ = _serve(resnet_stack, "block6", qps=20, count=5)
+        layers = len(resnet_stack.compiled["resnet50"].layers)
+        expected = -(-layers // 6)
+        assert all(q.blocks == expected for q in done)
+
+    def test_fewer_conflicts_than_layerwise(self, resnet_stack):
+        _, lw = _serve(resnet_stack, "layerwise", qps=150, count=40)
+        _, blk = _serve(resnet_stack, "block11", qps=150, count=40)
+        lw_rate = lw.metrics.conflicts / lw.metrics.blocks_started
+        blk_rate = blk.metrics.conflicts / blk.metrics.blocks_started
+        assert blk_rate <= lw_rate
+
+    def test_rejects_zero_block_size(self, resnet_stack):
+        with pytest.raises(ValueError):
+            stack = resnet_stack
+            from repro.scheduling.fixed_block import FixedBlockScheduler
+            FixedBlockScheduler(stack.cost_model, stack.profiles,
+                                block_size=0)
+
+
+class TestDynamicBlocks:
+    def test_blocks_fewer_than_layers(self, resnet_stack):
+        done, _ = _serve(resnet_stack, "veltair_as", qps=20, count=5)
+        layers = len(resnet_stack.compiled["resnet50"].layers)
+        assert all(q.blocks < layers for q in done)
+
+    def test_threshold_shrinks_with_load(self, resnet_stack):
+        scheduler = resnet_stack.make_scheduler("veltair_as")
+        policy = ProportionalThresholdPolicy()
+        queries = uniform_queries(resnet_stack.compiled, "resnet50",
+                                  10, 3)
+        engine = Engine(resnet_stack.cost_model)
+        idle_thres = policy.threshold_for(scheduler, engine, queries[0])
+
+        profile = resnet_stack.profiles["resnet50"]
+        engine.waiting.extend(queries)
+        engine.start_block(queries[1], len(queries[1].model.layers), 20,
+                           profile.static_versions)
+        engine.start_block(queries[2], len(queries[2].model.layers), 20,
+                           profile.static_versions)
+        busy_thres = policy.threshold_for(scheduler, engine, queries[0])
+        assert busy_thres <= idle_thres
+
+    def test_grant_capped_by_avg_plus_threshold(self, resnet_stack):
+        scheduler = resnet_stack.make_scheduler("veltair_as")
+        queries = uniform_queries(resnet_stack.compiled, "resnet50", 10, 1)
+        engine = Engine(resnet_stack.cost_model)
+        plan = scheduler.plan(engine, queries[0])
+        profile = resnet_stack.profiles["resnet50"]
+        assert plan.desired_cores <= resnet_stack.cpu.cores
+        assert plan.desired_cores >= 1
+
+    def test_headroom_validation(self, resnet_stack):
+        from repro.scheduling.dynamic_block import DynamicBlockScheduler
+        with pytest.raises(ValueError):
+            DynamicBlockScheduler(resnet_stack.cost_model,
+                                  resnet_stack.profiles,
+                                  budget_headroom=0.0)
+
+
+class TestVeltairFull:
+    def test_uses_proxy_estimate(self, resnet_stack):
+        scheduler = resnet_stack.make_scheduler("veltair_full")
+        assert scheduler.proxy is not None
+        engine = Engine(resnet_stack.cost_model)
+        assert 0.0 <= scheduler.planning_pressure(engine) <= 1.0
+
+    def test_oracle_mode_without_proxy(self, resnet_stack):
+        from repro.scheduling.veltair import VeltairScheduler
+        scheduler = VeltairScheduler(resnet_stack.cost_model,
+                                     resnet_stack.profiles, proxy=None)
+        engine = Engine(resnet_stack.cost_model)
+        assert scheduler.planning_pressure(engine) == 0.0
+
+    def test_version_adapts_to_pressure(self, resnet_stack):
+        compiled = resnet_stack.compiled["resnet50"]
+        multi = [e for e in compiled.layers if e.version_count > 1]
+        assert multi, "expected at least one multi-version layer"
+        entry = multi[0]
+        assert entry.version_for(0.0) != entry.version_for(1.0)
+
+
+class TestPrema:
+    def test_one_task_at_a_time(self, resnet_stack):
+        scheduler = resnet_stack.make_scheduler("prema")
+        queries = uniform_queries(resnet_stack.compiled, "resnet50",
+                                  1000, 4)
+        engine = Engine(resnet_stack.cost_model)
+
+        max_running = 0
+        original = scheduler.schedule
+
+        def spy(eng):
+            nonlocal max_running
+            max_running = max(max_running, len(eng.running))
+            original(eng)
+
+        scheduler.schedule = spy
+        engine.run(queries, scheduler)
+        assert max_running <= 1
+
+    def test_tight_qos_preempts(self, light_stack):
+        """Light (tight-QoS) queries get priority over waiting peers."""
+        queries = poisson_queries(light_stack.compiled, _mix_spec(), 200,
+                                  30, seed=3)
+        engine = Engine(light_stack.cost_model)
+        done = engine.run(queries, light_stack.make_scheduler("prema"))
+        assert len(done) == 30
+
+    def test_rejects_bad_quantum(self, resnet_stack):
+        from repro.scheduling.prema import PremaScheduler
+        with pytest.raises(ValueError):
+            PremaScheduler(resnet_stack.cost_model, resnet_stack.profiles,
+                           quantum_s=0.0)
+
+
+def _mix_spec():
+    from repro.serving.workload import WorkloadSpec
+    return WorkloadSpec(name="duo", entries=(("mobilenet_v2", 1.0),
+                                             ("googlenet", 1.0)))
+
+
+class TestMultiModelServing:
+    def test_mixed_stream_completes(self, light_stack):
+        queries = poisson_queries(light_stack.compiled, _mix_spec(), 100,
+                                  40, seed=5)
+        engine = Engine(light_stack.cost_model)
+        done = engine.run(queries, light_stack.make_scheduler(
+            "veltair_full"))
+        assert len(done) == 40
+        served_models = {q.model.name for q in done}
+        assert served_models == {"mobilenet_v2", "googlenet"}
+
+    def test_veltair_beats_layerwise_at_load(self, light_stack):
+        queries = poisson_queries(light_stack.compiled, _mix_spec(), 400,
+                                  80, seed=6)
+        results = {}
+        for policy in ("layerwise", "veltair_full"):
+            engine = Engine(light_stack.cost_model)
+            done = engine.run(list(queries_copy(queries, light_stack)),
+                              light_stack.make_scheduler(policy))
+            results[policy] = summarize(done, engine.metrics, 400)
+        assert (results["veltair_full"].satisfaction_rate
+                >= results["layerwise"].satisfaction_rate)
+
+
+def queries_copy(queries, stack):
+    """Fresh Query objects (queries are mutated by the engine)."""
+    from repro.runtime.tasks import Query
+    return [Query(query_id=q.query_id, model=q.model,
+                  arrival_s=q.arrival_s, qos_s=q.qos_s) for q in queries]
