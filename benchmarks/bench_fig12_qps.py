@@ -17,7 +17,8 @@ _POLICIES = ("layerwise", "prema", "veltair_as", "veltair_ac",
 _WORKLOADS = (LIGHT_MIX, MEDIUM_MIX, HEAVY_MIX, full_mix())
 
 
-def test_fig12_capacity(stack, benchmark, bench_queries, bench_tolerance):
+def test_fig12_capacity(stack, benchmark, bench_queries, bench_tolerance,
+                        bench_workers):
     def run():
         table = {}
         for spec in _WORKLOADS:
@@ -25,7 +26,8 @@ def test_fig12_capacity(stack, benchmark, bench_queries, bench_tolerance):
                 result = capacity(stack, policy, spec,
                                   count=bench_queries,
                                   tolerance_qps=bench_tolerance,
-                                  low_qps=5.0, high_qps=600.0, seed=17)
+                                  low_qps=5.0, high_qps=600.0, seed=17,
+                                  workers=bench_workers)
                 table[(spec.name, policy)] = result.qps
         return table
 

@@ -16,14 +16,16 @@ _POLICIES = ("veltair_as", "veltair_ac", "veltair_full")
 _QPS = {"mobilenet_v2": 250.0, "googlenet": 150.0, "resnet50": 120.0}
 
 
-def test_fig13_latency_vs_isolated(stack, benchmark, bench_queries):
+def test_fig13_latency_vs_isolated(stack, benchmark, bench_queries,
+                                   bench_workers):
     def run():
         rows = {}
         for model in _MODELS:
             iso = stack.isolated_model_latency(model)
             for policy in _POLICIES:
                 report = reports_over_qps(stack, policy, model,
-                                          [_QPS[model]], bench_queries)[0]
+                                          [_QPS[model]], bench_queries,
+                                          workers=bench_workers)[0]
                 rows[(model, policy)] = report.average_latency_s / iso
         return rows
 

@@ -10,11 +10,15 @@ Scale knobs (environment variables):
 * ``REPRO_BENCH_QUERIES`` — queries per serving simulation (default 150).
 * ``REPRO_BENCH_TRIALS``  — auto-scheduler trials per layer (default 192).
 * ``REPRO_BENCH_TOL``     — capacity-search tolerance in QPS (default 25).
+* ``REPRO_BENCH_WORKERS`` — processes per QPS sweep (default 1 = serial;
+  higher values fan capacity searches and load curves out over
+  ``sweep_qps`` worker processes).
 """
 
 from __future__ import annotations
 
 import os
+import re
 from pathlib import Path
 
 import pytest
@@ -24,6 +28,7 @@ from repro.serving.server import ServingStack
 BENCH_QUERIES = int(os.environ.get("REPRO_BENCH_QUERIES", "150"))
 BENCH_TRIALS = int(os.environ.get("REPRO_BENCH_TRIALS", "192"))
 BENCH_TOL = float(os.environ.get("REPRO_BENCH_TOL", "25"))
+BENCH_WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
 
 _RESULTS_DIR = Path(__file__).parent / "results"
 _REPORTS: list[tuple[str, str]] = []
@@ -33,7 +38,10 @@ def record(title: str, text: str) -> None:
     """Register a result table for the terminal summary and disk."""
     _REPORTS.append((title, text))
     _RESULTS_DIR.mkdir(exist_ok=True)
-    safe = title.lower().replace(" ", "_").replace("/", "-")
+    # Portable filenames only: figure titles carry ':' and '%', which
+    # are invalid on NTFS and would break a Windows checkout if the
+    # results were ever committed.
+    safe = re.sub(r"[^a-z0-9._-]+", "_", title.lower()).strip("_")
     (_RESULTS_DIR / f"{safe}.txt").write_text(text + "\n")
 
 
@@ -57,3 +65,8 @@ def bench_queries():
 @pytest.fixture(scope="session")
 def bench_tolerance():
     return BENCH_TOL
+
+
+@pytest.fixture(scope="session")
+def bench_workers():
+    return BENCH_WORKERS

@@ -21,6 +21,7 @@ Pipeline per layer (Fig. 9b-d):
 from __future__ import annotations
 
 import math
+import zlib
 from dataclasses import dataclass
 
 from repro.models.layers import LayerSpec
@@ -170,9 +171,14 @@ class SinglePassCompiler:
         """Run Alg. 1 for one layer with a per-layer latency budget."""
         if qos_budget_s <= 0:
             raise ValueError("qos_budget_s must be positive")
+        # zlib.crc32, not hash(): hashes of str/tuple values are salted
+        # per process (PYTHONHASHSEED), which would make compiled
+        # artifacts — and every simulation built on them —
+        # irreproducible across runs.
         search = self.scheduler.search(
             layer, interference=0.0, trials=self.trials,
-            seed=self.seed ^ (hash(layer.signature) & 0x7FFFFFFF))
+            seed=self.seed ^ (zlib.crc32(repr(layer.signature).encode())
+                              & 0x7FFFFFFF))
         cores = search.cores
 
         qualified = [m for m in search.samples

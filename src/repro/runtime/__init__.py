@@ -2,10 +2,12 @@
 
 from repro.runtime.allocator import AllocationError, CoreAllocator
 from repro.runtime.engine import Engine, SimulationMetrics
+from repro.runtime.pricing import PricingCache
 from repro.runtime.tasks import Query, RunningBlock, block_duration
 
 __all__ = [
     "AllocationError", "CoreAllocator",
     "Engine", "SimulationMetrics",
+    "PricingCache",
     "Query", "RunningBlock", "block_duration",
 ]

@@ -93,6 +93,9 @@ class RunningBlock:
     generation: int = 0
     #: Pressure this block exerts on co-runners.
     pressure: float = 0.0
+    #: Quantized excluded pressure at the last pricing; the engine skips
+    #: re-pricing while this is unchanged.  -1.0 means never priced.
+    priced_quantum: float = -1.0
     #: Pending extra spawn cost (seconds) from a grow, charged as work.
     pending_overhead_s: float = 0.0
     #: Counter rates cached at the last re-pricing (proxy inputs).

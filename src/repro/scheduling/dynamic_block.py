@@ -29,10 +29,33 @@ from repro.scheduling.base import (
 
 
 class ProportionalThresholdPolicy:
-    """Paper Sec. 4.3: distribute idle cores proportionally to ``Avg_C``."""
+    """Paper Sec. 4.3: distribute idle cores proportionally to ``Avg_C``.
+
+    The threshold only depends on the set of co-located queries and the
+    candidate's model, so results are memoised per engine co-location
+    epoch: within one epoch every same-model candidate reuses the value,
+    and any start/grow/finish bumps the epoch and drops the memo.
+    """
+
+    def __init__(self) -> None:
+        self._memo_epoch = -1
+        self._memo: dict[str, int] = {}
 
     def threshold_for(self, scheduler: "DynamicBlockScheduler",
                       engine: Engine, query: Query) -> int:
+        epoch = engine.colocation_epoch
+        if epoch != self._memo_epoch:
+            self._memo_epoch = epoch
+            self._memo.clear()
+        cached = self._memo.get(query.model.name)
+        if cached is not None:
+            return cached
+        value = self._compute(scheduler, engine, query)
+        self._memo[query.model.name] = value
+        return value
+
+    def _compute(self, scheduler: "DynamicBlockScheduler",
+                 engine: Engine, query: Query) -> int:
         profile = scheduler.profile_for(query)
         active_queries = {block.query.query_id: block.query
                           for block in engine.running.values()}

@@ -5,6 +5,7 @@ from repro.serving.experiments import (
     capacity,
     latency_at_capacity,
     reports_over_qps,
+    sweep_qps,
 )
 from repro.serving.metrics import (
     ServingReport,
@@ -26,6 +27,7 @@ from repro.serving.workload import (
 
 __all__ = [
     "CapacityResult", "capacity", "latency_at_capacity", "reports_over_qps",
+    "sweep_qps",
     "ServingReport", "max_qps_at_satisfaction", "summarize",
     "POLICIES", "ServingStack",
     "WorkloadSpec", "class_mix", "full_mix", "poisson_queries",

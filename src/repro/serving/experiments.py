@@ -2,10 +2,19 @@
 
 Each function maps onto one evaluation protocol of Sec. 5; the benchmark
 modules parameterise them per figure and print the paper-shaped series.
+
+The load axis is the expensive one — every point of a QPS sweep is an
+independent simulation — so :func:`sweep_qps` batches points and can
+fan them out over ``fork``-ed worker processes.  The capacity search
+(:func:`capacity`, the Fig. 12 protocol) and the latency curves
+(:func:`reports_over_qps`, Fig. 13) both run through it; with
+``workers=1`` every call reduces to the classic sequential protocol.
 """
 
 from __future__ import annotations
 
+import contextlib
+import multiprocessing
 from dataclasses import dataclass
 
 from repro.serving.metrics import (
@@ -20,29 +29,122 @@ from repro.serving.workload import (
     uniform_queries,
 )
 
+#: Sweep description inherited by fork()-ed workers: (stack, policy,
+#: spec, count, seed, uniform).  Module-level so the child processes see
+#: it through copy-on-write instead of pickling the compiled stack.
+_SWEEP_STATE: tuple | None = None
+
+
+def _run_point(stack: ServingStack, policy: str, spec: WorkloadSpec,
+               qps: float, count: int, seed: int | None,
+               uniform: bool) -> ServingReport:
+    """Simulate one offered-load point and summarise it."""
+    if uniform:
+        queries = uniform_queries(stack.compiled, spec.models[0], qps,
+                                  count)
+    else:
+        queries = poisson_queries(stack.compiled, spec, qps, count,
+                                  seed=stack.seed if seed is None else seed)
+    completed, engine = stack.run(policy, queries)
+    return summarize(completed, engine.metrics, qps)
+
+
+def _sweep_worker(qps: float) -> ServingReport:
+    stack, policy, spec, count, seed, uniform = _SWEEP_STATE
+    return _run_point(stack, policy, spec, qps, count, seed, uniform)
+
+
+@contextlib.contextmanager
+def sweep_pool(stack: ServingStack, policy: str, spec: WorkloadSpec,
+               count: int, seed: int | None = None,
+               uniform: bool = False, workers: int = 2):
+    """A persistent fork pool for *repeated* sweeps of one scenario.
+
+    Workers survive across :func:`sweep_qps` calls, so their
+    copy-on-write pricing caches stay warm from one capacity-search
+    round to the next — with an ephemeral pool per call, every round
+    would start cold and redo the block pricing the shared cache
+    exists to eliminate.  The sweep scenario is baked in at fork time;
+    only the offered loads may vary between calls.
+    """
+    global _SWEEP_STATE
+    _SWEEP_STATE = (stack, policy, spec, count, seed, uniform)
+    context = multiprocessing.get_context("fork")
+    pool = context.Pool(processes=max(1, int(workers)))
+    # Remember the fork-time scenario so sweep_qps can reject calls
+    # whose arguments disagree with what the workers will simulate.
+    pool._repro_sweep_state = _SWEEP_STATE
+    try:
+        yield pool
+    finally:
+        pool.terminate()
+        pool.join()
+        _SWEEP_STATE = None
+
+
+def sweep_qps(stack: ServingStack, policy: str, spec: WorkloadSpec,
+              qps_values: list[float], count: int,
+              seed: int | None = None, workers: int | None = None,
+              uniform: bool = False, pool=None) -> list[ServingReport]:
+    """One report per offered load, optionally across worker processes.
+
+    Every point is an independent simulation of ``count`` queries, so
+    the sweep parallelises perfectly.  ``workers > 1`` forks a process
+    pool (the compiled stack travels by copy-on-write, never pickled);
+    ``workers`` of 1 or ``None``, or a platform without ``fork``, runs
+    the points sequentially in-process — same results either way, the
+    simulations are deterministic per (seed, qps).  Pass a
+    :func:`sweep_pool` as ``pool`` to reuse warm workers across calls
+    (the pool's baked-in scenario must match these arguments).
+
+    With ``uniform=True`` the spec must be single-model and arrivals are
+    the deterministic uniform stream of the granularity study (Fig. 3).
+    """
+    qps_list = [float(qps) for qps in qps_values]
+    if not qps_list:
+        return []
+    if uniform and len(spec.models) != 1:
+        raise ValueError("uniform sweeps require a single-model spec")
+    if pool is not None:
+        # Workers simulate the scenario baked in at fork time — reject
+        # a mismatched call instead of returning plausible wrong data.
+        baked = getattr(pool, "_repro_sweep_state", None)
+        if baked != (stack, policy, spec, count, seed, uniform):
+            raise ValueError(
+                "pool was created for a different sweep scenario; build "
+                "it with sweep_pool(...) using these same arguments")
+        return pool.map(_sweep_worker, qps_list)
+    requested = 1 if workers is None else max(1, int(workers))
+    requested = min(requested, len(qps_list))
+    if (requested > 1
+            and "fork" in multiprocessing.get_all_start_methods()):
+        global _SWEEP_STATE
+        _SWEEP_STATE = (stack, policy, spec, count, seed, uniform)
+        try:
+            context = multiprocessing.get_context("fork")
+            with context.Pool(processes=requested) as pool:
+                return pool.map(_sweep_worker, qps_list)
+        except OSError:
+            pass  # fork/pipe failure: fall through to the serial path
+        finally:
+            _SWEEP_STATE = None
+    return [_run_point(stack, policy, spec, qps, count, seed, uniform)
+            for qps in qps_list]
+
 
 def reports_over_qps(stack: ServingStack, policy: str, model_name: str,
                      qps_values: list[float], count: int,
                      uniform: bool = True,
-                     seed: int | None = None) -> list[ServingReport]:
+                     seed: int | None = None,
+                     workers: int | None = None) -> list[ServingReport]:
     """One report per offered load — the Fig. 3 / Fig. 5a protocol.
 
     The paper's granularity study streams a single model with identical
     uniform arrivals; ``uniform=False`` switches to Poisson arrivals.
     """
-    reports = []
-    for qps in qps_values:
-        if uniform:
-            queries = uniform_queries(stack.compiled, model_name, qps,
-                                      count)
-        else:
-            spec = WorkloadSpec(name=model_name,
-                                entries=((model_name, 1.0),))
-            queries = poisson_queries(stack.compiled, spec, qps, count,
-                                      seed=seed)
-        completed, engine = stack.run(policy, queries)
-        reports.append(summarize(completed, engine.metrics, qps))
-    return reports
+    spec = WorkloadSpec(name=model_name, entries=((model_name, 1.0),))
+    return sweep_qps(stack, policy, spec, list(qps_values), count,
+                     seed=seed, workers=workers, uniform=uniform)
 
 
 @dataclass(frozen=True)
@@ -59,14 +161,34 @@ def capacity(stack: ServingStack, policy: str, spec: WorkloadSpec,
              count: int, target: float = 0.95,
              low_qps: float = 10.0, high_qps: float = 800.0,
              tolerance_qps: float = 15.0,
-             seed: int | None = None) -> CapacityResult:
-    """Max offered QPS with ``target`` QoS satisfaction (Fig. 12 metric)."""
-    def run_at(qps: float) -> ServingReport:
-        return stack.report(policy, spec, qps, count, seed=seed)
+             seed: int | None = None,
+             workers: int | None = None) -> CapacityResult:
+    """Max offered QPS with ``target`` QoS satisfaction (Fig. 12 metric).
 
-    qps, report = max_qps_at_satisfaction(
-        run_at, target=target, low_qps=low_qps, high_qps=high_qps,
-        tolerance_qps=tolerance_qps)
+    The bisection evaluates its probe loads through :func:`sweep_qps`;
+    with ``workers > 1`` each search round batches ``workers`` loads
+    across one persistent :func:`sweep_pool` (speculative multi-point
+    bisection over warm workers), with the default it is the paper's
+    sequential protocol, probe for probe.
+    """
+    batch = 1 if workers is None else max(1, int(workers))
+
+    def search(pool) -> tuple[float, ServingReport]:
+        def run_batch(qps_values: list[float]) -> list[ServingReport]:
+            return sweep_qps(stack, policy, spec, qps_values, count,
+                             seed=seed, pool=pool)
+
+        return max_qps_at_satisfaction(
+            run_batch=run_batch, batch=batch, target=target,
+            low_qps=low_qps, high_qps=high_qps,
+            tolerance_qps=tolerance_qps)
+
+    if batch > 1 and "fork" in multiprocessing.get_all_start_methods():
+        with sweep_pool(stack, policy, spec, count, seed=seed,
+                        workers=batch) as pool:
+            qps, report = search(pool)
+    else:
+        qps, report = search(None)
     return CapacityResult(policy=policy, workload=spec.name, qps=qps,
                           report=report)
 

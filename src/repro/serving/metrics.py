@@ -73,41 +73,89 @@ def summarize(completed: list[Query], metrics: SimulationMetrics,
 
 
 def max_qps_at_satisfaction(
-        run_at_qps: Callable[[float], ServingReport],
+        run_at_qps: Callable[[float], ServingReport] | None = None,
         target: float = 0.95,
         low_qps: float = 10.0,
         high_qps: float = 1200.0,
-        tolerance_qps: float = 10.0) -> tuple[float, ServingReport]:
+        tolerance_qps: float = 10.0,
+        run_batch: Callable[[list[float]], list[ServingReport]] | None = None,
+        batch: int = 1) -> tuple[float, ServingReport]:
     """Largest offered QPS whose satisfaction rate stays above ``target``.
 
     Bisection over offered load (the paper's QPS-with-95%-QoS metric).
     ``run_at_qps`` simulates one load level and returns its report.
     Returns the best passing load and its report; if even ``low_qps``
     fails, that failing report is returned with the load.
+
+    The search can evaluate several loads per round: pass ``run_batch``
+    (e.g. a :func:`repro.serving.experiments.sweep_qps` closure, which
+    simulates a whole batch across worker processes) and ``batch > 1``
+    to probe ``batch`` bracket doublings or interior points at once.
+    With ``batch=1`` the probe sequence is exactly the classic
+    bisection, whatever runner is used.
     """
     if not 0.0 < target <= 1.0:
         raise ValueError("target must be in (0, 1]")
-    low_report = run_at_qps(low_qps)
+    if run_at_qps is None and run_batch is None:
+        raise ValueError("provide run_at_qps or run_batch")
+    batch = max(1, int(batch))
+
+    def evaluate(points: list[float]) -> list[ServingReport]:
+        if run_batch is not None:
+            reports = run_batch(list(points))
+            if len(reports) != len(points):
+                raise ValueError("run_batch returned a mismatched batch")
+            return reports
+        return [run_at_qps(point) for point in points]
+
+    (low_report,) = evaluate([low_qps])
     if low_report.satisfaction_rate < target:
         return low_qps, low_report
-    high = high_qps
     best_qps, best_report = low_qps, low_report
 
-    # Expand the bracket if the ceiling still passes.
-    high_report = run_at_qps(high)
-    while high_report.satisfaction_rate >= target and high < 16 * high_qps:
-        best_qps, best_report = high, high_report
-        high *= 2
-        high_report = run_at_qps(high)
-    if high_report.satisfaction_rate >= target:
-        return high, high_report
+    # Expand the bracket (by probing batches of doublings) until a load
+    # fails or the ceiling of 16x the initial bracket still passes.
+    limit = 16 * high_qps
+    high = high_qps
+    first_fail: tuple[float, ServingReport] | None = None
+    while first_fail is None:
+        probes = []
+        probe = high
+        for _ in range(batch):
+            probes.append(probe)
+            if probe >= limit:
+                break
+            probe *= 2.0
+        reports = evaluate(probes)
+        for qps, report in zip(probes, reports):
+            if report.satisfaction_rate >= target:
+                best_qps, best_report = qps, report
+            else:
+                first_fail = (qps, report)
+                break
+        if first_fail is None:
+            if probes[-1] >= limit:
+                return best_qps, best_report
+            high = probes[-1] * 2.0
+    high = first_fail[0]
 
+    # Refine: each round evaluates ``batch`` evenly spaced interior
+    # points and keeps the passing/failing boundary (monotone-load
+    # assumption; results beyond the first failure are ignored, exactly
+    # as sequential bisection would never have probed them).
     low = best_qps
     while high - low > tolerance_qps:
-        mid = (low + high) / 2.0
-        report = run_at_qps(mid)
-        if report.satisfaction_rate >= target:
-            low, best_qps, best_report = mid, mid, report
+        if batch == 1:
+            points = [(low + high) / 2.0]
         else:
-            high = mid
+            step = (high - low) / (batch + 1)
+            points = [low + step * index for index in range(1, batch + 1)]
+        reports = evaluate(points)
+        for qps, report in zip(points, reports):
+            if report.satisfaction_rate >= target:
+                if qps > low:
+                    low, best_qps, best_report = qps, qps, report
+            else:
+                high = qps
+                break
     return best_qps, best_report

@@ -30,6 +30,7 @@ from repro.interference.proxy import (
 )
 from repro.models.registry import get_entry, get_model, model_names
 from repro.runtime.engine import Engine
+from repro.runtime.pricing import PricingCache
 from repro.runtime.tasks import Query
 from repro.scheduling.base import ModelProfile, build_profile
 from repro.scheduling.dynamic_block import DynamicBlockScheduler
@@ -57,9 +58,15 @@ class ServingStack:
                  trials: int = 256,
                  use_proxy: bool = True,
                  proxy_scenarios: int = 240,
-                 seed: int = DEFAULT_SEED) -> None:
+                 seed: int = DEFAULT_SEED,
+                 price_cache_entries: int = 1 << 18) -> None:
         self.cpu = cpu or THREADRIPPER_3990X
         self.cost_model = CostModel(self.cpu, params)
+        #: Block pricing memo shared by every engine this stack builds:
+        #: identical blocks recur across the runs of a QPS sweep, so the
+        #: warm cache eliminates most cost-model pricing calls.  Size is
+        #: bounded by ``price_cache_entries`` (batched FIFO eviction).
+        self.price_cache = PricingCache(max_entries=price_cache_entries)
         self.compiler = ModelCompiler(
             self.cost_model,
             SinglePassCompiler(self.cost_model, trials=trials, seed=seed))
@@ -105,10 +112,16 @@ class ServingStack:
                                     proxy=self.proxy)
         raise ValueError(f"unknown policy {policy!r}; known: {POLICIES}")
 
-    def run(self, policy: str,
-            queries: list[Query]) -> tuple[list[Query], Engine]:
-        """Simulate one query stream; returns (completed, engine)."""
-        engine = Engine(self.cost_model)
+    def run(self, policy: str, queries: list[Query],
+            incremental: bool = True) -> tuple[list[Query], Engine]:
+        """Simulate one query stream; returns (completed, engine).
+
+        ``incremental=False`` forces the engine's legacy
+        reprice-everything mode — useful only for A/B-verifying that the
+        incremental hot path leaves results unchanged.
+        """
+        engine = Engine(self.cost_model, price_cache=self.price_cache,
+                        incremental=incremental)
         scheduler = self.make_scheduler(policy)
         completed = engine.run(queries, scheduler)
         return completed, engine

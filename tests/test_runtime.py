@@ -202,3 +202,146 @@ class TestEngine:
         engine = Engine(resnet_stack.cost_model)
         with pytest.raises(RuntimeError, match="deadlock"):
             engine.run(queries, NeverStarts())
+
+    def test_rejects_bad_pressure_quantum(self, resnet_stack):
+        with pytest.raises(ValueError):
+            Engine(resnet_stack.cost_model, pressure_quantum=0.0)
+
+    def test_deadlock_detected_behind_stale_events(self, resnet_stack):
+        """The guard must not be fooled by a heap of stale events.
+
+        The first query's block is grown mid-flight, so its re-priced
+        finish fires *before* the original (now stale) event; the
+        second query is never started.  The stale tail used to let the
+        drain loop slide past the deadlock guard and return silently.
+        """
+        class StartsOnlyFirst:
+            def __init__(self, stack):
+                self.stack = stack
+                self.started = False
+                self.grown = False
+
+            def schedule(self, engine):
+                profile = self.stack.profiles["resnet50"]
+                if not self.started and engine.waiting:
+                    query = engine.waiting.popleft()
+                    engine.start_block(query, len(query.model.layers),
+                                       8, profile.static_versions,
+                                       desired_cores=32)
+                    self.started = True
+                elif self.started and not self.grown and engine.running:
+                    engine.grow_block(next(iter(engine.running)), 24)
+                    self.grown = True
+
+        queries = uniform_queries(resnet_stack.compiled, "resnet50",
+                                  100, 2)
+        engine = Engine(resnet_stack.cost_model)
+        with pytest.raises(RuntimeError, match="deadlock"):
+            engine.run(queries, StartsOnlyFirst(resnet_stack))
+
+
+def _start_one_block(stack, engine, cores=8, desired=None):
+    """Start one whole-model block directly (engine-internals tests)."""
+    query = uniform_queries(stack.compiled, "resnet50", 10, 1)[0]
+    profile = stack.profiles["resnet50"]
+    return engine.start_block(query, len(query.model.layers), cores,
+                              profile.static_versions,
+                              desired_cores=desired)
+
+
+class TestGrowOverheadClamp:
+    """Regression: a grow on a just-started block must not drive its
+    progress negative (negative progress overstates remaining work and
+    yields an overlong finish time)."""
+
+    def test_progress_clamped_at_zero(self, resnet_stack):
+        engine = Engine(resnet_stack.cost_model)
+        task_id = _start_one_block(resnet_stack, engine, cores=8,
+                                   desired=32)
+        # Grow immediately: zero banked progress, but the spawn overhead
+        # charge is positive — without the clamp this went negative.
+        engine.grow_block(task_id, 24)
+        engine._reprice_dirty()
+        block = engine.running[task_id]
+        assert block.progress == 0.0
+        assert block.pending_overhead_s == 0.0
+
+    def test_finish_not_overlong(self, resnet_stack):
+        engine = Engine(resnet_stack.cost_model)
+        task_id = _start_one_block(resnet_stack, engine, cores=8,
+                                   desired=32)
+        engine.grow_block(task_id, 24)
+        engine._reprice_dirty()
+        block = engine.running[task_id]
+        # The scheduled finish can be at most one full block duration
+        # out, since clamped progress is >= 0.
+        finish_times = [event[0] for event in engine._events
+                        if event[2] == "finish"
+                        and event[3] == (task_id, block.generation)]
+        assert finish_times
+        assert finish_times[0] <= engine.now + 1.0 / block.rate + 1e-12
+
+
+class TestHorizonAccounting:
+    """Regression: stopping at a horizon must account the tail of the
+    simulated window, not freeze the clock at the last event."""
+
+    def test_tail_advanced_to_horizon(self, resnet_stack):
+        queries = uniform_queries(resnet_stack.compiled, "resnet50",
+                                  100, 5)  # arrivals at 10ms spacing
+        engine = Engine(resnet_stack.cost_model)
+        horizon = 0.012  # mid-flight of the first query's block
+        engine.run(queries, _WholeModelScheduler(resnet_stack, 32),
+                   horizon_s=horizon)
+        assert engine.metrics.last_event_s == pytest.approx(horizon)
+        # The first block runs on 32 cores from t=0.01 to the horizon.
+        assert engine.metrics.usage_core_seconds == pytest.approx(
+            32 * (horizon - 0.01))
+
+    def test_average_cores_not_inflated(self, resnet_stack):
+        queries = uniform_queries(resnet_stack.compiled, "resnet50",
+                                  100, 5)
+        engine = Engine(resnet_stack.cost_model)
+        engine.run(queries, _WholeModelScheduler(resnet_stack, 32),
+                   horizon_s=0.012)
+        # 32 cores busy over half the [0.01, 0.012] window span would be
+        # reported as 32; the under-count bug reported 0-span inf/garbage.
+        assert 0.0 < engine.metrics.average_cores_used <= 32.0
+
+    def test_horizon_before_first_event(self, resnet_stack):
+        queries = uniform_queries(resnet_stack.compiled, "resnet50",
+                                  100, 5)
+        engine = Engine(resnet_stack.cost_model)
+        done = engine.run(queries, _WholeModelScheduler(resnet_stack, 32),
+                          horizon_s=0.001)
+        assert done == []
+        assert engine.metrics.first_event_s is None
+        assert engine.metrics.usage_core_seconds == 0.0
+
+
+class TestPlanningPressureBoundary:
+    """Paper Sec. 4.3: a block exactly at the soon-to-finish threshold
+    counts as soon-to-finish (inclusive boundary)."""
+
+    def test_at_threshold_excluded(self, resnet_stack):
+        engine = Engine(resnet_stack.cost_model,
+                        soon_to_finish_threshold=0.25)
+        task_id = _start_one_block(resnet_stack, engine)
+        block = engine.running[task_id]
+        block.progress = 0.75  # remaining == threshold exactly
+        assert engine.pressure(planning=True) == 0.0
+        assert engine.pressure() > 0.0  # non-planning still counts it
+
+    def test_below_threshold_excluded(self, resnet_stack):
+        engine = Engine(resnet_stack.cost_model,
+                        soon_to_finish_threshold=0.25)
+        task_id = _start_one_block(resnet_stack, engine)
+        engine.running[task_id].progress = 0.875
+        assert engine.pressure(planning=True) == 0.0
+
+    def test_above_threshold_included(self, resnet_stack):
+        engine = Engine(resnet_stack.cost_model,
+                        soon_to_finish_threshold=0.25)
+        task_id = _start_one_block(resnet_stack, engine)
+        engine.running[task_id].progress = 0.5
+        assert engine.pressure(planning=True) > 0.0
