@@ -9,7 +9,10 @@ Walks one convolution layer through the whole pipeline:
 3. the resulting version table and how the runtime would switch.
 
 Run:  python examples/adaptive_compilation_tour.py
+(REPRO_EXAMPLE_TRIALS shrinks the searches for CI.)
 """
+
+import os
 
 from repro.compiler import (
     AutoScheduler,
@@ -20,6 +23,8 @@ from repro.compiler import (
 )
 from repro.hardware import THREADRIPPER_3990X
 from repro.models import Conv2D
+
+TRIALS = int(os.environ.get("REPRO_EXAMPLE_TRIALS", "512"))
 
 
 def main() -> None:
@@ -32,7 +37,7 @@ def main() -> None:
     # -- 1. naive multi-pass extension -----------------------------------
     searcher = AutoScheduler(cost_model)
     multi = multi_pass_search(searcher, layer, levels=4,
-                              trials_per_pass=512, cores=cores, seed=1)
+                              trials_per_pass=TRIALS, cores=cores, seed=1)
     print("Naive multi-pass extension (one search per level):")
     print(f"  total evaluations: {multi.total_trials}")
     for level, schedule in zip(multi.levels, multi.schedules):
@@ -43,7 +48,7 @@ def main() -> None:
               f"  {lat_iso * 1e6:7.1f}us iso / {lat_hot * 1e6:7.1f}us hot")
 
     # -- 2. single-pass Alg. 1 -------------------------------------------
-    compiler = SinglePassCompiler(cost_model, trials=512, seed=1)
+    compiler = SinglePassCompiler(cost_model, trials=TRIALS, seed=1)
     compiled = compiler.compile_layer(layer, qos_budget_s=400e-6)
     print(f"\nSingle-pass compiler (Alg. 1): {compiled.sample_count} "
           f"samples, {compiled.dominant_count} on the Pareto frontier, "

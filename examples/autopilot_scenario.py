@@ -9,10 +9,16 @@ The script compares what fraction of frames meet their deadlines under
 naive layer-wise co-location vs VELTAIR.
 
 Run:  python examples/autopilot_scenario.py
+(REPRO_EXAMPLE_TRIALS / REPRO_EXAMPLE_QUERIES shrink it for CI.)
 """
+
+import os
 
 from repro.serving import ServingStack, WorkloadSpec, poisson_queries
 from repro.serving.metrics import summarize
+
+TRIALS = int(os.environ.get("REPRO_EXAMPLE_TRIALS", "192"))
+QUERIES = int(os.environ.get("REPRO_EXAMPLE_QUERIES", "400"))
 
 #: Sensor frame rates: two cameras at 30 fps each through the light
 #: detector, scene classification at 30 fps, front detector at 5 fps.
@@ -27,14 +33,14 @@ def main() -> None:
     print("Compiling the vehicle's model set...")
     stack = ServingStack(
         models=["tiny_yolov2", "mobilenet_v2", "ssd_resnet34"],
-        trials=192,
+        trials=TRIALS,
     )
     total_fps = sum(weight for _, weight in CAMERA_MIX.entries)
     print(f"Aggregate sensor load: {total_fps:.0f} inferences/second\n")
 
     for policy in ("model_fcfs", "layerwise", "veltair_full"):
         queries = poisson_queries(stack.compiled, CAMERA_MIX, total_fps,
-                                  400, seed=7)
+                                  QUERIES, seed=7)
         completed, engine = stack.run(policy, queries)
         report = summarize(completed, engine.metrics, total_fps)
         by_model = {}

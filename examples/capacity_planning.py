@@ -5,22 +5,28 @@ load on the medium mix and find each policy's maximal QPS at a 95% QoS
 satisfaction SLA.
 
 Run:  python examples/capacity_planning.py
+(REPRO_EXAMPLE_TRIALS / REPRO_EXAMPLE_QUERIES shrink it for CI.)
 """
+
+import os
 
 from repro.serving import MEDIUM_MIX, ServingStack
 from repro.serving.experiments import capacity
 
+TRIALS = int(os.environ.get("REPRO_EXAMPLE_TRIALS", "192"))
+QUERIES = int(os.environ.get("REPRO_EXAMPLE_QUERIES", "150"))
+
 
 def main() -> None:
     print("Compiling the medium-mix models (ResNet-50, GoogLeNet)...")
-    stack = ServingStack(models=["resnet50", "googlenet"], trials=192)
+    stack = ServingStack(models=["resnet50", "googlenet"], trials=TRIALS)
 
     print(f"Workload: {MEDIUM_MIX.name} mix, Poisson arrivals, "
           f"QoS 15 ms, SLA = 95% in-deadline\n")
     results = {}
     for policy in ("prema", "model_fcfs", "layerwise", "block11",
                    "veltair_as", "veltair_full"):
-        result = capacity(stack, policy, MEDIUM_MIX, count=150,
+        result = capacity(stack, policy, MEDIUM_MIX, count=QUERIES,
                           tolerance_qps=20, low_qps=10, high_qps=600,
                           seed=3)
         results[policy] = result

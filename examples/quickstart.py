@@ -6,17 +6,23 @@ mix, and compares the full VELTAIR scheduler against the Planaria-style
 layer-wise baseline.
 
 Run:  python examples/quickstart.py
+(REPRO_EXAMPLE_TRIALS / REPRO_EXAMPLE_QUERIES shrink it for CI.)
 """
+
+import os
 
 from repro.serving import LIGHT_MIX, ServingStack, poisson_queries
 from repro.serving.metrics import summarize
+
+TRIALS = int(os.environ.get("REPRO_EXAMPLE_TRIALS", "192"))
+QUERIES = int(os.environ.get("REPRO_EXAMPLE_QUERIES", "300"))
 
 
 def main() -> None:
     print("Compiling the light-mix models (multi-version, Alg. 1)...")
     stack = ServingStack(
         models=["efficientnet_b0", "mobilenet_v2", "tiny_yolov2"],
-        trials=192,
+        trials=TRIALS,
     )
     for name, compiled in stack.compiled.items():
         versions = compiled.version_counts
@@ -25,10 +31,10 @@ def main() -> None:
               f"(max {max(versions)}/layer)")
 
     qps = 220.0
-    print(f"\nServing 300 queries at {qps:.0f} QPS "
+    print(f"\nServing {QUERIES} queries at {qps:.0f} QPS "
           f"(Poisson arrivals, QoS per MLPerf Table 2)...")
     for policy in ("layerwise", "veltair_full"):
-        queries = poisson_queries(stack.compiled, LIGHT_MIX, qps, 300,
+        queries = poisson_queries(stack.compiled, LIGHT_MIX, qps, QUERIES,
                                   seed=42)
         completed, engine = stack.run(policy, queries)
         report = summarize(completed, engine.metrics, qps)

@@ -1,0 +1,58 @@
+"""Multi-node serving: fleet specs, routers, admission, and experiments.
+
+One :class:`~repro.serving.server.ServingStack` compile pass feeds every
+node of a (possibly heterogeneous) fleet; a pluggable router assigns
+each arrival from live node state — including the interference-proxy
+pressure estimate — and an admission controller sheds or defers load
+past a fleet pressure bound.  See ``examples/cluster_serving.py`` for a
+tour and ``benchmarks/bench_cluster_scale.py`` for the scale study.
+"""
+
+from repro.cluster.admission import (
+    ADMIT,
+    DEFER,
+    SHED,
+    AdmissionController,
+    AdmissionPolicy,
+    fleet_outstanding_per_core,
+    fleet_pressure,
+)
+from repro.cluster.experiments import (
+    ClusterCapacityResult,
+    cluster_capacity,
+    cluster_sweep_pool,
+    sweep_cluster_qps,
+)
+from repro.cluster.fleet import Cluster, ClusterNode
+from repro.cluster.metrics import ClusterReport, NodeReport, rollup
+from repro.cluster.router import (
+    ROUTERS,
+    JoinShortestQueueRouter,
+    LeastOutstandingRouter,
+    PressureAwareRouter,
+    RoundRobinRouter,
+    Router,
+    make_router,
+)
+from repro.cluster.spec import (
+    DEFAULT_NODE_POLICY,
+    ClusterSpec,
+    NodeSpec,
+    homogeneous,
+    mixed_fleet,
+)
+
+__all__ = [
+    "ADMIT", "DEFER", "SHED",
+    "AdmissionController", "AdmissionPolicy",
+    "fleet_outstanding_per_core", "fleet_pressure",
+    "ClusterCapacityResult", "cluster_capacity", "cluster_sweep_pool",
+    "sweep_cluster_qps",
+    "Cluster", "ClusterNode",
+    "ClusterReport", "NodeReport", "rollup",
+    "ROUTERS", "Router", "make_router",
+    "RoundRobinRouter", "LeastOutstandingRouter",
+    "JoinShortestQueueRouter", "PressureAwareRouter",
+    "DEFAULT_NODE_POLICY", "ClusterSpec", "NodeSpec",
+    "homogeneous", "mixed_fleet",
+]

@@ -1,0 +1,181 @@
+"""Fleet-level experiment drivers: load sweeps and capacity searches.
+
+The cluster analogues of :mod:`repro.serving.experiments`, riding on the
+same worker-pool layer: every offered-load point is an independent fleet
+simulation, so a sweep fans points out over ``fork``-ed workers (the
+compiled stack travels by copy-on-write, never pickled) and falls back
+to the serial in-process path on platforms without ``fork``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+
+from repro.cluster.admission import AdmissionPolicy
+from repro.cluster.fleet import Cluster
+from repro.cluster.metrics import ClusterReport
+from repro.cluster.spec import ClusterSpec
+from repro.serving.experiments import fork_worker_pool
+from repro.serving.metrics import max_qps_at_satisfaction
+from repro.serving.server import ServingStack
+from repro.serving.workload import WorkloadSpec
+
+#: Sweep description inherited by fork()-ed workers, exactly like
+#: ``repro.serving.experiments._SWEEP_STATE``.
+_CLUSTER_STATE: tuple | None = None
+
+
+def _run_cluster_point(stack: ServingStack, cluster_spec: ClusterSpec,
+                       router: str, admission: AdmissionPolicy | None,
+                       spec: WorkloadSpec, qps: float, count: int,
+                       seed: int | None) -> ClusterReport:
+    """Simulate one fleet offered-load point and roll it up."""
+    cluster = Cluster(stack, cluster_spec, router=router,
+                      admission=admission)
+    return cluster.report(spec, qps, count, seed=seed)
+
+
+def _cluster_worker(qps: float) -> ClusterReport:
+    stack, cluster_spec, router, admission, spec, count, seed = \
+        _CLUSTER_STATE
+    return _run_cluster_point(stack, cluster_spec, router, admission,
+                              spec, qps, count, seed)
+
+
+@contextlib.contextmanager
+def cluster_sweep_pool(stack: ServingStack, cluster_spec: ClusterSpec,
+                       spec: WorkloadSpec, count: int,
+                       router: str = "pressure_aware",
+                       admission: AdmissionPolicy | None = None,
+                       seed: int | None = None, workers: int = 2):
+    """A persistent fork pool for *repeated* sweeps of one fleet scenario.
+
+    The cluster twin of :func:`repro.serving.experiments.sweep_pool`,
+    with the same rationale: workers survive across
+    :func:`sweep_cluster_qps` calls so their copy-on-write pricing
+    caches stay warm from one capacity-search round to the next.  Pool
+    lifecycle and the fail-soft contract (``None`` on platforms without
+    ``fork``, which the sweep treats as the serial path) are shared
+    with the serving layer via :func:`fork_worker_pool`.
+    """
+    global _CLUSTER_STATE
+    # Warm the per-CPU runtimes before forking so children inherit the
+    # memoised cost models / profiles / proxies by copy-on-write instead
+    # of each re-fitting them for every foreign node width.
+    for cpu in cluster_spec.cpu_specs:
+        stack.runtime_for(cpu)
+    _CLUSTER_STATE = (stack, cluster_spec, router, admission, spec,
+                      count, seed)
+    try:
+        with fork_worker_pool(workers) as pool:
+            if pool is not None:
+                pool._repro_cluster_state = _CLUSTER_STATE
+            yield pool
+    finally:
+        _CLUSTER_STATE = None
+
+
+def sweep_cluster_qps(stack: ServingStack, cluster_spec: ClusterSpec,
+                      spec: WorkloadSpec, qps_values: list[float],
+                      count: int, router: str = "pressure_aware",
+                      admission: AdmissionPolicy | None = None,
+                      seed: int | None = None,
+                      workers: int | None = None,
+                      pool=None) -> list[ClusterReport]:
+    """One :class:`ClusterReport` per offered load, optionally parallel.
+
+    Same contract as :func:`repro.serving.experiments.sweep_qps`: every
+    point is deterministic per (seed, qps), workers > 1 forks a pool,
+    platforms without ``fork`` fail soft to the serial path, and a
+    :func:`cluster_sweep_pool` passed as ``pool`` reuses warm workers
+    across calls (its baked-in scenario must match these arguments).
+    """
+    qps_list = [float(qps) for qps in qps_values]
+    if not qps_list:
+        return []
+    if pool is not None:
+        baked = getattr(pool, "_repro_cluster_state", None)
+        if baked != (stack, cluster_spec, router, admission, spec, count,
+                     seed):
+            raise ValueError(
+                "pool was created for a different fleet scenario; build "
+                "it with cluster_sweep_pool(...) using these same "
+                "arguments")
+        try:
+            return pool.map(_cluster_worker, qps_list)
+        except OSError:
+            # Worker/pipe died mid-run: recompute this batch serially
+            # rather than aborting the capacity search.
+            return [_run_cluster_point(stack, cluster_spec, router,
+                                       admission, spec, qps, count, seed)
+                    for qps in qps_list]
+    requested = 1 if workers is None else max(1, int(workers))
+    requested = min(requested, len(qps_list))
+    if requested > 1:
+        with cluster_sweep_pool(stack, cluster_spec, spec, count,
+                                router=router, admission=admission,
+                                seed=seed, workers=requested) as ephemeral:
+            if ephemeral is not None:
+                try:
+                    return ephemeral.map(_cluster_worker, qps_list)
+                except OSError:
+                    pass  # worker/pipe died mid-run: recompute serially
+    return [_run_cluster_point(stack, cluster_spec, router, admission,
+                               spec, qps, count, seed)
+            for qps in qps_list]
+
+
+@dataclass(frozen=True)
+class ClusterCapacityResult:
+    """Fleet QPS@target for one (router, fleet, workload) cell."""
+
+    router: str
+    cluster: str
+    workload: str
+    qps: float
+    report: ClusterReport
+
+
+def cluster_capacity(stack: ServingStack, cluster_spec: ClusterSpec,
+                     spec: WorkloadSpec, count: int,
+                     router: str = "pressure_aware",
+                     admission: AdmissionPolicy | None = None,
+                     target: float = 0.95,
+                     low_qps: float = 10.0, high_qps: float = 1600.0,
+                     tolerance_qps: float = 25.0,
+                     seed: int | None = None,
+                     workers: int | None = None) -> ClusterCapacityResult:
+    """Max offered QPS with ``target`` fleet QoS satisfaction.
+
+    The fleet version of the paper's Fig. 12 metric: shed queries count
+    as QoS violations, so admission control cannot buy capacity by
+    rejecting its way to a clean satisfaction rate.  ``workers > 1``
+    batches each bisection round's probes across one persistent
+    :func:`cluster_sweep_pool`, so worker pricing caches stay warm
+    across rounds.
+    """
+    batch = 1 if workers is None else max(1, int(workers))
+
+    def search(pool) -> tuple[float, ClusterReport]:
+        def run_batch(qps_values: list[float]) -> list[ClusterReport]:
+            return sweep_cluster_qps(stack, cluster_spec, spec,
+                                     qps_values, count, router=router,
+                                     admission=admission, seed=seed,
+                                     pool=pool)
+
+        return max_qps_at_satisfaction(
+            run_batch=run_batch, batch=batch, target=target,
+            low_qps=low_qps, high_qps=high_qps,
+            tolerance_qps=tolerance_qps)
+
+    if batch > 1:
+        with cluster_sweep_pool(stack, cluster_spec, spec, count,
+                                router=router, admission=admission,
+                                seed=seed, workers=batch) as pool:
+            qps, report = search(pool)
+    else:
+        qps, report = search(None)
+    return ClusterCapacityResult(router=router, cluster=cluster_spec.name,
+                                 workload=spec.name, qps=qps,
+                                 report=report)

@@ -1,0 +1,170 @@
+"""The fleet simulation driver: N node engines, one global arrival stream.
+
+:class:`Cluster` is the multi-node analogue of
+:meth:`ServingStack.run <repro.serving.server.ServingStack.run>`: it
+builds one :class:`~repro.runtime.engine.Engine` + policy per node over
+the stack's *shared* artifacts (one compile pass fleet-wide), then
+co-simulates them against a single arrival stream.  At each global
+arrival every node is advanced to the arrival instant
+(:meth:`Engine.run_until`), the admission controller rules on the offer,
+the router picks a node from live fleet state, and the query is injected
+into that node's event loop (:meth:`Engine.submit`) — so routing
+decisions see exactly the node states a real front-end would observe at
+that moment, not a post-hoc assignment.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+from repro.cluster.admission import (
+    ADMIT,
+    DEFER,
+    AdmissionController,
+    AdmissionPolicy,
+)
+from repro.cluster.metrics import ClusterReport, rollup
+from repro.cluster.router import Router, make_router
+from repro.cluster.spec import ClusterSpec, NodeSpec
+from repro.interference.proxy import estimate_system_pressure
+from repro.runtime.engine import Engine
+from repro.runtime.tasks import Query
+from repro.serving.metrics import summarize
+from repro.serving.server import ServingStack
+from repro.serving.workload import WorkloadSpec, poisson_queries
+
+
+class ClusterNode:
+    """One fleet member: an engine + local policy over shared artifacts."""
+
+    def __init__(self, index: int, spec: NodeSpec, stack: ServingStack,
+                 incremental: bool = True) -> None:
+        self.index = index
+        self.spec = spec
+        self.runtime = stack.runtime_for(spec.cpu)
+        self.engine = Engine(self.runtime.cost_model,
+                             price_cache=self.runtime.price_cache,
+                             incremental=incremental)
+        self.scheduler = stack.make_scheduler(spec.policy,
+                                              runtime=self.runtime)
+        self.engine.begin([], self.scheduler)
+        #: Queries the router assigned here.
+        self.assigned = 0
+
+    @property
+    def cores(self) -> int:
+        return self.spec.cpu.cores
+
+    def pressure_estimate(self) -> float:
+        """This node's interference estimate — the routing signal.
+
+        The same estimation contract the node's own adaptive scheduler
+        uses (:func:`estimate_system_pressure`), over the proxy fitted
+        for *this node's* CPU spec by the stack's runtime factory.
+        """
+        return estimate_system_pressure(self.engine, self.runtime.proxy)
+
+
+class Cluster:
+    """A reusable fleet harness: spec + router + admission over one stack.
+
+    Engines are per-``serve`` (fresh nodes each call, exactly like
+    ``ServingStack.run`` builds fresh engines per run), so one
+    ``Cluster`` can drive a whole QPS sweep.  Pass ``router`` as a
+    registry name (a fresh router is built per serve) or as a
+    :class:`Router` instance to keep custom routing state across calls.
+    """
+
+    def __init__(self, stack: ServingStack, spec: ClusterSpec,
+                 router: str | Router = "pressure_aware",
+                 admission: AdmissionPolicy | None = None,
+                 incremental: bool = True) -> None:
+        self.stack = stack
+        self.spec = spec
+        self.router = router
+        self.admission = admission
+        self.incremental = incremental
+        #: Nodes of the most recent :meth:`serve` (debugging handle).
+        self.last_nodes: list[ClusterNode] | None = None
+
+    def _build_nodes(self) -> list[ClusterNode]:
+        return [ClusterNode(index, node_spec, self.stack,
+                            incremental=self.incremental)
+                for index, node_spec in enumerate(self.spec.nodes)]
+
+    def _build_router(self) -> Router:
+        if isinstance(self.router, Router):
+            return self.router
+        return make_router(self.router)
+
+    def serve(self, queries: list[Query],
+              offered_qps: float | None = None) -> ClusterReport:
+        """Route and co-simulate one query stream; returns the rollup."""
+        if not queries:
+            raise ValueError("cannot serve an empty stream")
+        nodes = self._build_nodes()
+        router = self._build_router()
+        controller = (AdmissionController(self.admission)
+                      if self.admission is not None else None)
+
+        # Offer heap: (offer time, seq, prior deferrals, query).  Seeded
+        # with every arrival; deferred queries are re-pushed at their
+        # re-offer instant with the attempt count bumped.
+        seq = itertools.count()
+        offers = [(query.arrival_s, next(seq), 0, query)
+                  for query in sorted(queries,
+                                      key=lambda q: (q.arrival_s,
+                                                     q.query_id))]
+        heapq.heapify(offers)
+        shed: list[Query] = []
+
+        while offers:
+            now, _, attempts, query = heapq.heappop(offers)
+            for node in nodes:
+                node.engine.run_until(now)
+            if controller is not None:
+                decision = controller.decide(nodes, query, attempts)
+                if decision == DEFER:
+                    heapq.heappush(
+                        offers,
+                        (now + controller.policy.defer_s, next(seq),
+                         attempts + 1, query))
+                    continue
+                if decision != ADMIT:
+                    shed.append(query)
+                    continue
+            node = router.choose(nodes, query, now)
+            node.engine.submit(query, at=now)
+            node.assigned += 1
+
+        if offered_qps is None:
+            # Rate estimate from the stream itself: N queries span N-1
+            # inter-arrival gaps.  A single query (or simultaneous
+            # arrivals) has no measurable rate; 0.0 marks "unknown".
+            arrivals = [q.arrival_s for q in queries]
+            span = max(arrivals) - min(arrivals)
+            offered_qps = ((len(queries) - 1) / span if span > 0
+                           else 0.0)
+
+        node_results = []
+        for node in nodes:
+            completed = node.engine.drain()
+            share = node.assigned / len(queries)
+            report = summarize(completed, node.engine.metrics,
+                               offered_qps * share)
+            node_results.append((node, completed, report))
+
+        self.last_nodes = nodes
+        return rollup(
+            offered=list(queries), node_results=node_results, shed=shed,
+            deferrals=controller.deferrals if controller else 0,
+            offered_qps=offered_qps, router=router.name)
+
+    def report(self, spec: WorkloadSpec, qps: float, count: int,
+               seed: int | None = None) -> ClusterReport:
+        """Generate a Poisson stream, serve it fleet-wide, summarise."""
+        queries = poisson_queries(
+            self.stack.compiled, spec, qps, count,
+            seed=self.stack.seed if seed is None else seed)
+        return self.serve(queries, offered_qps=qps)

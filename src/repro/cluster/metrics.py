@@ -1,0 +1,148 @@
+"""Fleet-level metrics: per-node reports rolled into one ClusterReport.
+
+The rollup is pure arithmetic over per-node results — every fleet total
+is the exact sum of its per-node constituents (the cluster benchmark
+asserts this reconciliation), and the fleet-only metrics (goodput,
+per-class tail latency, load imbalance, shed rate) are derived from the
+same raw queries, never re-estimated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.models.registry import WORKLOAD_CLASSES, get_entry
+from repro.runtime.tasks import Query
+from repro.serving.metrics import ServingReport
+
+
+@dataclass(frozen=True)
+class NodeReport:
+    """One node's share of a fleet run."""
+
+    name: str
+    cpu_name: str
+    cores: int
+    policy: str
+    assigned: int
+    completed: int
+    satisfied: int
+    report: ServingReport
+
+    @property
+    def satisfaction_rate(self) -> float:
+        return self.satisfied / self.completed if self.completed else 0.0
+
+
+@dataclass(frozen=True)
+class ClusterReport:
+    """Summary of one simulated fleet run."""
+
+    offered_qps: float
+    router: str
+    #: Query accounting: ``offered == admitted + shed`` and
+    #: ``admitted == sum(node.assigned)`` hold exactly.
+    offered: int
+    admitted: int
+    completed: int
+    satisfied: int
+    shed: int
+    deferrals: int
+    #: Fleet QoS satisfaction; shed queries count as violations.
+    satisfaction_rate: float
+    qos_violation_rate: float
+    #: Satisfied queries per second of fleet busy span.
+    goodput_qps: float
+    average_latency_s: float
+    p99_latency_s: float
+    #: P99 latency per workload class (light/medium/heavy), completed
+    #: queries only; classes absent from the stream are omitted.
+    class_p99_s: tuple[tuple[str, float], ...]
+    #: max/mean of per-node (assigned / cores) — 1.0 is a perfectly
+    #: width-proportional assignment.
+    load_imbalance: float
+    shed_rate: float
+    nodes: tuple[NodeReport, ...]
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return (f"qps={self.offered_qps:.0f} nodes={len(self.nodes)}"
+                f" sat={self.satisfaction_rate:.1%}"
+                f" goodput={self.goodput_qps:.0f}/s"
+                f" p99={self.p99_latency_s * 1e3:.2f}ms"
+                f" shed={self.shed_rate:.1%}"
+                f" imbalance={self.load_imbalance:.2f}")
+
+
+def rollup(offered: list[Query],
+           node_results: list[tuple["object", list[Query], ServingReport]],
+           shed: list[Query], deferrals: int, offered_qps: float,
+           router: str) -> ClusterReport:
+    """Fold per-node outcomes into one :class:`ClusterReport`.
+
+    ``node_results`` is one ``(node, completed_queries, report)`` triple
+    per fleet member, where ``node`` exposes ``spec``/``assigned`` (the
+    fleet driver's :class:`~repro.cluster.fleet.ClusterNode`).
+    """
+    node_reports = []
+    all_completed: list[Query] = []
+    for node, completed, report in node_results:
+        satisfied = sum(1 for query in completed if query.satisfied)
+        node_reports.append(NodeReport(
+            name=node.spec.name, cpu_name=node.spec.cpu.name,
+            cores=node.cores, policy=node.spec.policy,
+            assigned=node.assigned, completed=len(completed),
+            satisfied=satisfied, report=report))
+        all_completed.extend(completed)
+
+    offered_count = len(offered)
+    admitted = sum(node.assigned for node in node_reports)
+    completed_count = sum(node.completed for node in node_reports)
+    satisfied_count = sum(node.satisfied for node in node_reports)
+    satisfaction = satisfied_count / offered_count if offered_count else 0.0
+
+    if all_completed:
+        latencies = np.array([q.latency_s for q in all_completed])
+        average_latency = float(latencies.mean())
+        p99_latency = float(np.percentile(latencies, 99))
+        start = min(q.arrival_s for q in offered)
+        end = max(q.finished_s for q in all_completed)
+        span = max(end - start, 0.0)
+        goodput = satisfied_count / span if span > 0 else 0.0
+    else:
+        average_latency = float("inf")
+        p99_latency = float("inf")
+        goodput = 0.0
+
+    by_class: dict[str, list[float]] = {}
+    for query in all_completed:
+        workload_class = get_entry(query.model.name).workload_class
+        by_class.setdefault(workload_class, []).append(query.latency_s)
+    class_p99 = tuple(
+        (workload_class, float(np.percentile(by_class[workload_class], 99)))
+        for workload_class in WORKLOAD_CLASSES if workload_class in by_class)
+
+    loads = [node.assigned / node.cores for node in node_reports]
+    mean_load = sum(loads) / len(loads)
+    imbalance = max(loads) / mean_load if mean_load > 0 else 1.0
+
+    return ClusterReport(
+        offered_qps=offered_qps,
+        router=router,
+        offered=offered_count,
+        admitted=admitted,
+        completed=completed_count,
+        satisfied=satisfied_count,
+        shed=len(shed),
+        deferrals=deferrals,
+        satisfaction_rate=satisfaction,
+        qos_violation_rate=1.0 - satisfaction,
+        goodput_qps=goodput,
+        average_latency_s=average_latency,
+        p99_latency_s=p99_latency,
+        class_p99_s=class_p99,
+        load_imbalance=imbalance,
+        shed_rate=len(shed) / offered_count if offered_count else 0.0,
+        nodes=tuple(node_reports),
+    )

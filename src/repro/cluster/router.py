@@ -1,0 +1,136 @@
+"""Pluggable query routers: which node gets the next arrival.
+
+Routers see the fleet exactly as a production front-end would — queue
+depths, core widths, and each node's *interference-proxy* pressure
+estimate (the paper's Sec. 4.3 signal, here promoted from a per-node
+scheduling input to a fleet-level routing input).  They never inspect
+simulator internals beyond what a monitoring agent could export.
+
+==================== =====================================================
+``round_robin``      cyclic assignment, state- and width-blind
+``least_outstanding`` fewest in-flight queries (queued + executing)
+``join_shortest_queue`` fewest *queued* queries (executing ones ignored)
+``pressure_aware``   lowest predicted interference pressure, with a
+                     width-normalised queue term and QoS-class urgency
+                     weighting (the headline router)
+==================== =====================================================
+"""
+
+from __future__ import annotations
+
+
+class Router:
+    """Base router: pick a node for one query at its arrival instant."""
+
+    #: Registry name; subclasses override.
+    name = "base"
+
+    def choose(self, nodes, query, now: float):
+        """Return the node (from ``nodes``) that should serve ``query``."""
+        raise NotImplementedError
+
+
+class RoundRobinRouter(Router):
+    """Cyclic assignment — the width- and state-blind baseline."""
+
+    name = "round_robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def choose(self, nodes, query, now: float):
+        node = nodes[self._next % len(nodes)]
+        self._next += 1
+        return node
+
+
+class LeastOutstandingRouter(Router):
+    """Fewest in-flight queries (queued + executing); ties to the
+    lowest-index node.  Load-aware but width-blind: a 256-core node and
+    a 32-core node look identical at equal depth."""
+
+    name = "least_outstanding"
+
+    def choose(self, nodes, query, now: float):
+        return min(nodes, key=lambda node: (node.engine.outstanding,
+                                            node.index))
+
+
+class JoinShortestQueueRouter(Router):
+    """Fewest *queued* (not yet executing) queries.
+
+    Distinct from ``least_outstanding``: queries already executing are
+    invisible, so a node running many blocks with an empty queue looks
+    idle — the classic JSQ blind spot under spatial multitasking.
+    """
+
+    name = "join_shortest_queue"
+
+    def choose(self, nodes, query, now: float):
+        return min(nodes, key=lambda node: (node.engine.queued, node.index))
+
+
+class PressureAwareRouter(Router):
+    """Route on interference pressure, width-normalised queue depth, and
+    QoS-class urgency — the VELTAIR signal applied fleet-wide.
+
+    Each node is scored as::
+
+        score = (1 + urgency) * pressure + queue_weight * depth
+
+    * ``pressure`` is the node's interference estimate in [0, 1]: the
+      fitted linear proxy over the node's chip-wide L3 counters when the
+      stack has one, else the simulator's planning pressure (oracle).
+    * ``depth`` is the node's outstanding query count divided by its
+      core width in reference-node units (``cores / reference_cores``),
+      so a 256-core box absorbs 4x the backlog of a 64-core box before
+      their scores meet — this is what a width-blind router misses.
+    * ``urgency`` in [0, 1] grows as the query's QoS budget tightens
+      (``reference_qos_s / qos_s``, clamped): latency-critical queries
+      double-weight pressure and land on quiet nodes, while loose-QoS
+      heavy queries mostly follow spare width and soak up the backlog —
+      per-class isolation without any static partitioning.
+    """
+
+    name = "pressure_aware"
+
+    def __init__(self, queue_weight: float = 0.5,
+                 reference_cores: int = 64,
+                 reference_qos_s: float = 0.015) -> None:
+        if queue_weight < 0.0:
+            raise ValueError("queue_weight must be non-negative")
+        if reference_cores <= 0 or reference_qos_s <= 0:
+            raise ValueError("reference scales must be positive")
+        self.queue_weight = queue_weight
+        self.reference_cores = reference_cores
+        self.reference_qos_s = reference_qos_s
+
+    def choose(self, nodes, query, now: float):
+        urgency = min(1.0, self.reference_qos_s / query.qos_s)
+
+        def score(node) -> tuple[float, int]:
+            width = node.cores / self.reference_cores
+            depth = node.engine.outstanding / width
+            value = ((1.0 + urgency) * node.pressure_estimate()
+                     + self.queue_weight * depth)
+            return (value, node.index)
+
+        return min(nodes, key=score)
+
+
+#: Router registry, mirroring the policy table of ``ServingStack``.
+ROUTERS = ("round_robin", "least_outstanding", "join_shortest_queue",
+           "pressure_aware")
+
+
+def make_router(name: str, **kwargs) -> Router:
+    """Instantiate a registered router by name (kwargs to constructor)."""
+    if name == "round_robin":
+        return RoundRobinRouter(**kwargs)
+    if name == "least_outstanding":
+        return LeastOutstandingRouter(**kwargs)
+    if name == "join_shortest_queue":
+        return JoinShortestQueueRouter(**kwargs)
+    if name == "pressure_aware":
+        return PressureAwareRouter(**kwargs)
+    raise ValueError(f"unknown router {name!r}; known: {ROUTERS}")

@@ -1,0 +1,104 @@
+"""Fleet topology: which nodes exist, their CPUs, and their policies.
+
+A :class:`ClusterSpec` is pure description — no engines, no state — so
+it is cheap to build, hashable, and safe to share across processes.
+Nodes may be heterogeneous (mixed :class:`CpuSpec` widths) and may run
+different scheduling policies; the serving artifacts behind them are
+always the *one* compile pass owned by the :class:`ServingStack`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.platform import (
+    EDGE_NODE_32,
+    PRODUCTION_SERVER_256,
+    THREADRIPPER_3990X,
+    CpuSpec,
+)
+
+#: Default per-node scheduling policy.
+DEFAULT_NODE_POLICY = "veltair_full"
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One serving node: a CPU plus the local scheduling policy."""
+
+    name: str
+    cpu: CpuSpec
+    policy: str = DEFAULT_NODE_POLICY
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("node name must be non-empty")
+
+    @property
+    def cores(self) -> int:
+        return self.cpu.cores
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A named, ordered fleet of nodes."""
+
+    name: str
+    nodes: tuple[NodeSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.nodes:
+            raise ValueError(f"cluster {self.name!r} has no nodes")
+        names = [node.name for node in self.nodes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"cluster {self.name!r} has duplicate node "
+                             f"names: {names}")
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def total_cores(self) -> int:
+        return sum(node.cores for node in self.nodes)
+
+    @property
+    def cpu_specs(self) -> tuple[CpuSpec, ...]:
+        """Distinct CPU specs in fleet order (runtime-sharing groups)."""
+        distinct: list[CpuSpec] = []
+        for node in self.nodes:
+            if node.cpu not in distinct:
+                distinct.append(node.cpu)
+        return tuple(distinct)
+
+
+def homogeneous(count: int, cpu: CpuSpec | None = None,
+                policy: str = DEFAULT_NODE_POLICY,
+                name: str | None = None) -> ClusterSpec:
+    """``count`` identical nodes (default: the paper's 64-core testbed)."""
+    if count <= 0:
+        raise ValueError("node count must be positive")
+    cpu = cpu if cpu is not None else THREADRIPPER_3990X
+    label = name or f"{count}x{cpu.cores}c"
+    return ClusterSpec(
+        name=label,
+        nodes=tuple(NodeSpec(name=f"node{i}", cpu=cpu, policy=policy)
+                    for i in range(count)))
+
+
+def mixed_fleet(policy: str = DEFAULT_NODE_POLICY) -> ClusterSpec:
+    """The 4-node heterogeneous reference fleet of the cluster benchmark.
+
+    Two testbed-width nodes, one production 256-core box, and one
+    32-core edge node: 416 cores total, with a 8x spread between the
+    narrowest and widest member.  Width-blind routers hand the edge
+    node a full quarter of the traffic and pin the fleet's capacity to
+    it; width- and pressure-aware routing is what unlocks the rest.
+    """
+    return ClusterSpec(
+        name="mixed-4",
+        nodes=(
+            NodeSpec(name="worker0", cpu=THREADRIPPER_3990X, policy=policy),
+            NodeSpec(name="worker1", cpu=THREADRIPPER_3990X, policy=policy),
+            NodeSpec(name="big0", cpu=PRODUCTION_SERVER_256, policy=policy),
+            NodeSpec(name="edge0", cpu=EDGE_NODE_32, policy=policy),
+        ))

@@ -1,14 +1,20 @@
 """Hardware substrate: platform specs and synthetic performance counters."""
 
 from repro.hardware.platform import (
+    EDGE_NODE_32,
+    PRODUCTION_SERVER_256,
     THREADRIPPER_3990X,
     CacheSpec,
     CpuSpec,
     MemorySpec,
+    edge_node_32,
+    production_server_256,
     threadripper_3990x,
 )
 
 __all__ = [
     "CacheSpec", "CpuSpec", "MemorySpec",
     "THREADRIPPER_3990X", "threadripper_3990x",
+    "EDGE_NODE_32", "edge_node_32",
+    "PRODUCTION_SERVER_256", "production_server_256",
 ]

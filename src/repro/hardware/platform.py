@@ -154,6 +154,30 @@ def threadripper_3990x() -> CpuSpec:
     )
 
 
+def edge_node_32() -> CpuSpec:
+    """A small serving node: half a 3990X, the low end of a mixed fleet.
+
+    Cluster experiments route over heterogeneous fleets; this is the
+    node a naive round-robin router overloads first.  Modeled as half
+    the paper's testbed — 32 cores, half the LLC/DRAM bandwidth.
+    """
+    return CpuSpec(
+        name="edge node (32 cores)",
+        cores=32,
+        frequency_hz=2.9e9,
+        flops_per_cycle=32.0,
+        sustained_fraction=0.75,
+        l2=CacheSpec(capacity_bytes=512 * 1024,
+                     bandwidth_bytes_per_s=64e9),
+        llc=CacheSpec(capacity_bytes=128 * 1024 * 1024,
+                      bandwidth_bytes_per_s=0.8e12,
+                      shared=True),
+        dram=MemorySpec(capacity_bytes=128 * 1024**3,
+                        bandwidth_bytes_per_s=48e9),
+        thread_spawn_s=8e-6,
+    )
+
+
 def production_server_256() -> CpuSpec:
     """A production-scale serving node: dual-socket, 256 cores.
 
@@ -183,4 +207,5 @@ def production_server_256() -> CpuSpec:
 
 #: Module-level singleton presets; cheap to construct, convenient to share.
 THREADRIPPER_3990X = threadripper_3990x()
+EDGE_NODE_32 = edge_node_32()
 PRODUCTION_SERVER_256 = production_server_256()

@@ -194,6 +194,27 @@ class LinearInterferenceProxy:
         return self.predict(sample.counters[0], sample.counters[1])
 
 
+def estimate_system_pressure(engine, proxy: LinearInterferenceProxy | None
+                             ) -> float:
+    """The runtime's interference estimate for one node/engine.
+
+    With a fitted proxy the estimate comes from the engine's chip-wide
+    L3 counters — what a monitoring agent would export, and the only
+    signal real hardware offers.  Without one, the simulator's planning
+    pressure (which already applies the soon-to-finish filter) acts as
+    an oracle.  This is the single estimation contract shared by the
+    adaptive schedulers and the cluster's ``pressure_aware`` router;
+    callers that key caches on the estimate quantize it themselves
+    (``engine.quantize_pressure``).
+    """
+    if proxy is not None:
+        miss_rate, accesses = engine.system_counters()
+        if accesses <= 0.0:
+            return 0.0  # idle machine: nothing to interfere with
+        return proxy.predict(miss_rate, accesses)
+    return engine.pressure(planning=True)
+
+
 def fit_proxy(samples: list[ProxySample]) -> LinearInterferenceProxy:
     """Least-squares fit of the two-counter linear proxy."""
     if len(samples) < 4:

@@ -162,6 +162,9 @@ class Engine:
         #: fed into the heap one at a time.
         self._arrivals: list[tuple[float, int, str, object]] = []
         self._arrival_cursor = 0
+        #: Scheduler bound by :meth:`begin` (or :meth:`run`); the drive
+        #: loop dispatches through it after every event.
+        self._scheduler: Scheduler | None = None
 
     # ------------------------------------------------------------------
     # pressure / introspection for schedulers
@@ -185,6 +188,32 @@ class Engine:
                 continue
             total += block.pressure
         return min(1.0, total)
+
+    @property
+    def queued(self) -> int:
+        """Queries queued but not executing (waiting + ready)."""
+        return len(self.waiting) + len(self.ready)
+
+    @property
+    def outstanding(self) -> int:
+        """Queries admitted but not finished (queued + running blocks).
+
+        A query occupies exactly one of ``waiting``/``ready``/``running``
+        at any instant, so this is the node's in-flight query count — the
+        signal queue-depth cluster routers balance on.
+        """
+        return self.queued + len(self.running)
+
+    def quantize_pressure(self, pressure: float) -> float:
+        """Snap a pressure estimate to this engine's pricing quantum.
+
+        Pricing (and therefore every pressure-keyed planning cache worth
+        having) only resolves ``pressure_quantum`` steps; planners should
+        quantize their estimates with this so their cache keys are never
+        finer than what pricing can distinguish.
+        """
+        steps = round(pressure / self.pressure_quantum)
+        return min(1.0, steps * self.pressure_quantum)
 
     def system_counters(self) -> tuple[float, float]:
         """Aggregate (L3 miss rate, L3 accesses/s) across running blocks.
@@ -288,10 +317,6 @@ class Engine:
         self.price_cache.put(key, value)
         return value
 
-    def _quantize(self, pressure: float) -> float:
-        steps = round(pressure / self.pressure_quantum)
-        return min(1.0, steps * self.pressure_quantum)
-
     def _advance(self, to_time: float) -> None:
         """Bank progress for all running blocks up to ``to_time``."""
         if self.metrics.first_event_s is None:
@@ -384,7 +409,7 @@ class Engine:
                 excluded = 0.0
             elif excluded > 1.0:
                 excluded = 1.0
-            quantum = self._quantize(excluded)
+            quantum = self.quantize_pressure(excluded)
             if (self.incremental and block.task_id not in needs
                     and quantum == block.priced_quantum):
                 continue
@@ -472,10 +497,60 @@ class Engine:
 
         Returns completed queries in completion order.
         """
+        self.begin(queries, scheduler)
+        self._drive(horizon_s=horizon_s, resumable=False)
+        return self.completed
+
+    # ------------------------------------------------------------------
+    # incremental driving (cluster co-simulation)
+    # ------------------------------------------------------------------
+
+    def begin(self, queries: list[Query], scheduler: Scheduler) -> None:
+        """Stage a stream and bind a scheduler without running the loop.
+
+        The cluster driver feeds each node engine incrementally: it
+        ``begin``-s with an empty stream, then alternates
+        :meth:`run_until` (advance to the next global arrival) and
+        :meth:`submit` (inject the query the router assigned here), and
+        finally :meth:`drain`-s the tail.  :meth:`run` is exactly
+        ``begin`` + drive-to-completion.
+        """
+        self._scheduler = scheduler
         self._stage_arrivals(queries)
 
+    def submit(self, query: Query, at: float | None = None) -> None:
+        """Inject one arrival event, by default at ``query.arrival_s``.
+
+        ``at`` sets the event time instead (an admission controller
+        re-offering a deferred query) — the query's own ``arrival_s``
+        is untouched, so its latency still counts the deferral.  Event
+        times never go backwards: anything earlier than ``now`` fires
+        immediately.
+        """
+        time = query.arrival_s if at is None else at
+        self._push_event(max(time, self.now), "arrival", query)
+
+    def run_until(self, until_s: float) -> None:
+        """Process every event at ``time <= until_s``; resumable.
+
+        Leaves the first out-of-window event in the heap and advances
+        the clock (banking progress and core-usage accounting) to
+        ``until_s`` so routers observe fresh block progress.
+        """
+        self._drive(horizon_s=until_s, resumable=True)
+
+    def drain(self) -> list[Query]:
+        """Run the loop to completion; returns the completed queries."""
+        self._drive(horizon_s=None, resumable=False)
+        return self.completed
+
+    def _drive(self, horizon_s: float | None, resumable: bool) -> None:
+        scheduler = self._scheduler
+        if scheduler is None:
+            raise RuntimeError("no scheduler bound; call begin()/run()")
         while self._events:
-            time, _, kind, payload = heapq.heappop(self._events)
+            event = heapq.heappop(self._events)
+            time, _, kind, payload = event
             if kind == "finish":
                 task_id, generation = payload
                 block = self.running.get(task_id)
@@ -490,10 +565,14 @@ class Engine:
                 # Account the tail of the simulated window: without this
                 # advance, usage/last_event under-count everything after
                 # the final in-horizon event and inflate average cores.
+                # A resumable drive keeps the event for the next call; a
+                # terminal horizon discards it with the rest of the run.
+                if resumable:
+                    heapq.heappush(self._events, event)
                 if (self.metrics.first_event_s is not None
                         and horizon_s > self.now):
                     self._advance(horizon_s)
-                break
+                return
             self._advance(time)
             if kind == "arrival":
                 self.waiting.append(payload)
@@ -512,4 +591,6 @@ class Engine:
                     "machine and no future events")
             if self._dirty:
                 self._reprice_dirty(scheduler)
-        return self.completed
+        if (resumable and self.metrics.first_event_s is not None
+                and horizon_s is not None and horizon_s > self.now):
+            self._advance(horizon_s)

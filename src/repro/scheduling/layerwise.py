@@ -13,6 +13,7 @@ selects interference-matched versions but still schedules layer by layer.
 
 from __future__ import annotations
 
+from repro.interference.proxy import estimate_system_pressure
 from repro.runtime.engine import Engine
 from repro.runtime.tasks import Query
 from repro.scheduling.base import BlockPlan, ModelProfile, SpatialScheduler
@@ -54,12 +55,7 @@ class AdaptiveCompilationOnly(LayerWiseScheduler):
         self._required_cache: dict = {}
 
     def interference_estimate(self, engine: Engine) -> float:
-        if self.proxy is not None:
-            miss_rate, accesses = engine.system_counters()
-            if accesses <= 0.0:
-                return 0.0  # idle machine: nothing to interfere with
-            return self.proxy.predict(miss_rate, accesses)
-        return engine.pressure(planning=True)
+        return estimate_system_pressure(engine, self.proxy)
 
     def plan(self, engine: Engine, query: Query) -> BlockPlan | None:
         available = engine.allocator.available
@@ -67,7 +63,11 @@ class AdaptiveCompilationOnly(LayerWiseScheduler):
             return None
         profile = self.profile_for(query)
         index = query.next_layer
-        pressure = round(self.interference_estimate(engine), 2)
+        # Quantize with the engine's pricing quantum (not a hard-coded
+        # rounding): finer keys than pricing resolves only fragment the
+        # version/core-requirement caches.
+        pressure = engine.quantize_pressure(
+            self.interference_estimate(engine))
         entry = query.model.layers[index]
         version = entry.version_for(pressure)
         desired = self._required_cores(profile, index, version, pressure)

@@ -11,7 +11,10 @@ requirements.
 
 from __future__ import annotations
 
-from repro.interference.proxy import LinearInterferenceProxy
+from repro.interference.proxy import (
+    LinearInterferenceProxy,
+    estimate_system_pressure,
+)
 from repro.runtime.engine import Engine
 from repro.runtime.tasks import Query
 from repro.scheduling.base import ModelProfile
@@ -38,17 +41,13 @@ class VeltairScheduler(DynamicBlockScheduler):
 
         With a proxy the estimate comes from the monitored L3 counters;
         without one the simulator's planning pressure (which already
-        applies the soon-to-finish filter) acts as an oracle.
+        applies the soon-to-finish filter) acts as an oracle.  The
+        estimate is snapped to the engine's pricing quantum — pricing
+        cannot distinguish finer levels, so a finer planning key would
+        only fragment the version/core-requirement caches.
         """
-        if self.proxy is not None:
-            miss_rate, accesses = engine.system_counters()
-            if accesses <= 0.0:
-                estimate = 0.0  # idle machine: nothing to interfere with
-            else:
-                estimate = self.proxy.predict(miss_rate, accesses)
-        else:
-            estimate = engine.pressure(planning=True)
-        return round(estimate, 2)
+        estimate = estimate_system_pressure(engine, self.proxy)
+        return engine.quantize_pressure(estimate)
 
     def version_for(self, query: Query, index: int, pressure: float):
         return query.model.layers[index].version_for(pressure)

@@ -55,6 +55,36 @@ def _sweep_worker(qps: float) -> ServingReport:
 
 
 @contextlib.contextmanager
+def fork_worker_pool(workers: int):
+    """A ``fork``-pinned process pool, or ``None`` when unavailable.
+
+    Sweep workers inherit their scenario (including the compiled stack)
+    through module globals by copy-on-write, which only the ``fork``
+    start method provides — ``spawn``/``forkserver`` would have to
+    pickle the stack.  On platforms without ``fork`` (Windows; macOS
+    configured spawn-only) — or when process creation itself fails —
+    this yields ``None`` instead of raising, and both sweep layers
+    treat a ``None`` pool as the serial in-process path.  Results are
+    identical either way; only wall-clock differs.  Callers must set
+    their worker-state global *before* entering (fork captures it).
+    """
+    if "fork" not in multiprocessing.get_all_start_methods():
+        yield None  # spawn-only platform: documented serial fallback
+        return
+    context = multiprocessing.get_context("fork")
+    try:
+        pool = context.Pool(processes=max(1, int(workers)))
+    except OSError:
+        yield None  # fork/pipe failure: fail soft to the serial path
+        return
+    try:
+        yield pool
+    finally:
+        pool.terminate()
+        pool.join()
+
+
+@contextlib.contextmanager
 def sweep_pool(stack: ServingStack, policy: str, spec: WorkloadSpec,
                count: int, seed: int | None = None,
                uniform: bool = False, workers: int = 2):
@@ -66,19 +96,21 @@ def sweep_pool(stack: ServingStack, policy: str, spec: WorkloadSpec,
     would start cold and redo the block pricing the shared cache
     exists to eliminate.  The sweep scenario is baked in at fork time;
     only the offered loads may vary between calls.
+
+    Pool lifecycle and the fail-soft contract (``None`` on platforms
+    without ``fork``) live in :func:`fork_worker_pool`.
     """
     global _SWEEP_STATE
     _SWEEP_STATE = (stack, policy, spec, count, seed, uniform)
-    context = multiprocessing.get_context("fork")
-    pool = context.Pool(processes=max(1, int(workers)))
-    # Remember the fork-time scenario so sweep_qps can reject calls
-    # whose arguments disagree with what the workers will simulate.
-    pool._repro_sweep_state = _SWEEP_STATE
     try:
-        yield pool
+        with fork_worker_pool(workers) as pool:
+            if pool is not None:
+                # Remember the fork-time scenario so sweep_qps can
+                # reject calls whose arguments disagree with what the
+                # workers will simulate.
+                pool._repro_sweep_state = _SWEEP_STATE
+            yield pool
     finally:
-        pool.terminate()
-        pool.join()
         _SWEEP_STATE = None
 
 
@@ -113,21 +145,26 @@ def sweep_qps(stack: ServingStack, policy: str, spec: WorkloadSpec,
             raise ValueError(
                 "pool was created for a different sweep scenario; build "
                 "it with sweep_pool(...) using these same arguments")
-        return pool.map(_sweep_worker, qps_list)
+        try:
+            return pool.map(_sweep_worker, qps_list)
+        except OSError:
+            # A worker/pipe died mid-run (e.g. OOM-killed): recompute
+            # this batch serially rather than aborting a whole capacity
+            # search; later rounds fall back the same way if the pool
+            # stays broken.
+            pass
+        return [_run_point(stack, policy, spec, qps, count, seed,
+                           uniform) for qps in qps_list]
     requested = 1 if workers is None else max(1, int(workers))
     requested = min(requested, len(qps_list))
-    if (requested > 1
-            and "fork" in multiprocessing.get_all_start_methods()):
-        global _SWEEP_STATE
-        _SWEEP_STATE = (stack, policy, spec, count, seed, uniform)
-        try:
-            context = multiprocessing.get_context("fork")
-            with context.Pool(processes=requested) as pool:
-                return pool.map(_sweep_worker, qps_list)
-        except OSError:
-            pass  # fork/pipe failure: fall through to the serial path
-        finally:
-            _SWEEP_STATE = None
+    if requested > 1:
+        with sweep_pool(stack, policy, spec, count, seed=seed,
+                        uniform=uniform, workers=requested) as ephemeral:
+            if ephemeral is not None:
+                try:
+                    return ephemeral.map(_sweep_worker, qps_list)
+                except OSError:
+                    pass  # worker/pipe died mid-run: recompute serially
     return [_run_point(stack, policy, spec, qps, count, seed, uniform)
             for qps in qps_list]
 
@@ -183,7 +220,9 @@ def capacity(stack: ServingStack, policy: str, spec: WorkloadSpec,
             low_qps=low_qps, high_qps=high_qps,
             tolerance_qps=tolerance_qps)
 
-    if batch > 1 and "fork" in multiprocessing.get_all_start_methods():
+    if batch > 1:
+        # sweep_pool fails soft to ``None`` (the serial path) on
+        # spawn-only platforms, so no availability check is needed here.
         with sweep_pool(stack, policy, spec, count, seed=seed,
                         workers=batch) as pool:
             qps, report = search(pool)

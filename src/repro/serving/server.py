@@ -18,6 +18,8 @@ simulations stay independent.  Policies are addressed by name:
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.config import DEFAULT_SEED
 from repro.hardware.platform import THREADRIPPER_3990X, CpuSpec
 from repro.compiler.costmodel import CostModel, CostModelParams
@@ -47,6 +49,28 @@ from repro.serving.workload import WorkloadSpec, poisson_queries
 
 POLICIES = ("model_fcfs", "layerwise", "prema", "block6", "block11",
             "veltair_as", "veltair_ac", "veltair_full")
+
+
+@dataclass(frozen=True)
+class NodeRuntime:
+    """Per-CPU serving artifacts derived from one shared compile pass.
+
+    A cluster deploys the stack's compiled libraries on nodes of
+    possibly different widths.  The compiled *schedules* are machine
+    descriptions and port as-is; what must be rebuilt per CPU spec is
+    everything calibrated against one machine — the cost model itself,
+    the scheduling profiles (core requirements change with machine
+    width), the pricing cache (prices are bound to one cost model), and
+    the interference proxy (counter magnitudes do not port across
+    specs).  Nodes with the same :class:`CpuSpec` share one runtime, so
+    a homogeneous fleet shares a single warm pricing cache.
+    """
+
+    cpu: CpuSpec
+    cost_model: CostModel
+    price_cache: PricingCache
+    profiles: dict[str, ModelProfile]
+    proxy: LinearInterferenceProxy | None
 
 
 class ServingStack:
@@ -80,36 +104,97 @@ class ServingStack:
                                                    get_entry(name).qos_s)
             self.compiled[name] = compiled
             self.profiles[name] = build_profile(self.cost_model, compiled)
+        #: Compile passes this stack has performed.  Stays at 1 for the
+        #: stack's whole life: per-node runtimes re-profile but never
+        #: re-compile (the cluster benchmark asserts exactly this).
+        self.artifact_builds = 1
 
         self.proxy: LinearInterferenceProxy | None = None
+        self._proxy_scenarios = proxy_scenarios
+        self._use_proxy = use_proxy
         if use_proxy:
-            samples = collect_aggregate_samples(
-                self.cost_model, list(self.compiled.values()),
-                scenarios=proxy_scenarios, seed=seed)
-            self.proxy = fit_proxy(samples)
+            self.proxy = self._fit_proxy(self.cost_model)
+
+        #: Per-CpuSpec runtimes derived from the one compile pass above.
+        self._runtimes: dict[CpuSpec, NodeRuntime] = {}
+
+    def _fit_proxy(self, cost_model: CostModel) -> LinearInterferenceProxy:
+        """Fit the counter proxy against one machine's cost model.
+
+        Counter magnitudes (and therefore the fitted weights and access
+        scale) depend on the CPU spec, so each distinct node width gets
+        its own fit over the same compiled models.
+        """
+        samples = collect_aggregate_samples(
+            cost_model, list(self.compiled.values()),
+            scenarios=self._proxy_scenarios, seed=self.seed)
+        return fit_proxy(samples)
 
     # ------------------------------------------------------------------
 
-    def make_scheduler(self, policy: str):
-        """Instantiate a named policy bound to this stack's artifacts."""
+    def runtime_for(self, cpu: CpuSpec | None = None) -> NodeRuntime:
+        """Serving artifacts for one node CPU — compile once, re-profile.
+
+        The stack's own CPU (or ``None``) returns a view over the
+        stack's existing cost model, profiles, and shared pricing cache.
+        A different :class:`CpuSpec` gets its own cost model, freshly
+        built profiles, and a pricing cache of its own (prices do not
+        port across machines) — but the *compiled* multi-version
+        libraries are shared untouched, so a whole heterogeneous fleet
+        rides on a single compile pass.  Runtimes are memoised per spec.
+        """
+        cpu = cpu if cpu is not None else self.cpu
+        runtime = self._runtimes.get(cpu)
+        if runtime is not None:
+            return runtime
+        if cpu == self.cpu:
+            runtime = NodeRuntime(cpu=self.cpu, cost_model=self.cost_model,
+                                  price_cache=self.price_cache,
+                                  profiles=self.profiles, proxy=self.proxy)
+        else:
+            cost_model = CostModel(cpu, self.cost_model.params)
+            profiles = {name: build_profile(cost_model, compiled)
+                        for name, compiled in self.compiled.items()}
+            runtime = NodeRuntime(
+                cpu=cpu, cost_model=cost_model,
+                price_cache=PricingCache(
+                    max_entries=self.price_cache.max_entries),
+                profiles=profiles,
+                # Re-fit per width: the proxy reads chip-wide counter
+                # magnitudes, which do not port across machine specs.
+                proxy=(self._fit_proxy(cost_model)
+                       if self._use_proxy else None))
+        self._runtimes[cpu] = runtime
+        return runtime
+
+    def make_scheduler(self, policy: str, runtime: NodeRuntime | None = None):
+        """Instantiate a named policy bound to this stack's artifacts.
+
+        ``runtime`` binds the policy to a per-node runtime (from
+        :meth:`runtime_for`) instead of the stack's own machine — how a
+        cluster builds one scheduler per node over shared artifacts.
+        """
+        cost_model = runtime.cost_model if runtime else self.cost_model
+        profiles = runtime.profiles if runtime else self.profiles
+        proxy = runtime.proxy if runtime else self.proxy
         if policy == "model_fcfs":
-            return ModelWiseFcfs(self.cost_model, self.profiles)
+            return ModelWiseFcfs(cost_model, profiles)
         if policy == "layerwise":
-            return LayerWiseScheduler(self.cost_model, self.profiles)
+            return LayerWiseScheduler(cost_model, profiles)
         if policy == "prema":
-            return PremaScheduler(self.cost_model, self.profiles)
+            return PremaScheduler(cost_model, profiles)
         if policy.startswith("block"):
             size = int(policy.removeprefix("block"))
-            return FixedBlockScheduler(self.cost_model, self.profiles,
+            return FixedBlockScheduler(cost_model, profiles,
                                        block_size=size)
         if policy == "veltair_as":
-            return DynamicBlockScheduler(self.cost_model, self.profiles)
+            return DynamicBlockScheduler(cost_model, profiles)
         if policy == "veltair_ac":
-            return AdaptiveCompilationOnly(self.cost_model, self.profiles,
-                                           proxy=self.proxy)
+            return AdaptiveCompilationOnly(cost_model, profiles,
+                                           proxy=proxy)
         if policy == "veltair_full":
-            return VeltairScheduler(self.cost_model, self.profiles,
-                                    proxy=self.proxy)
+            return VeltairScheduler(cost_model, profiles,
+                                    proxy=proxy)
         raise ValueError(f"unknown policy {policy!r}; known: {POLICIES}")
 
     def run(self, policy: str, queries: list[Query],

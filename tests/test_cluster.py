@@ -1,0 +1,316 @@
+"""Cluster subsystem tests: specs, routers, admission, fleet driver,
+and the engine's incremental-driving hooks the fleet rides on."""
+
+import pytest
+
+from repro.cluster import (
+    ROUTERS,
+    AdmissionPolicy,
+    Cluster,
+    ClusterSpec,
+    NodeSpec,
+    cluster_capacity,
+    fleet_pressure,
+    homogeneous,
+    make_router,
+    mixed_fleet,
+    sweep_cluster_qps,
+)
+from repro.hardware.platform import (
+    EDGE_NODE_32,
+    PRODUCTION_SERVER_256,
+    THREADRIPPER_3990X,
+)
+from repro.runtime.engine import Engine
+from repro.scheduling.veltair import VeltairScheduler
+from repro.serving.workload import WorkloadSpec, poisson_queries
+
+MIX = WorkloadSpec(name="mix2", entries=(("mobilenet_v2", 1.0),
+                                         ("googlenet", 1.0)))
+
+
+class TestClusterSpec:
+    def test_rejects_empty_fleet(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(name="x", nodes=())
+
+    def test_rejects_duplicate_node_names(self):
+        node = NodeSpec(name="a", cpu=THREADRIPPER_3990X)
+        with pytest.raises(ValueError):
+            ClusterSpec(name="x", nodes=(node, node))
+
+    def test_rejects_empty_node_name(self):
+        with pytest.raises(ValueError):
+            NodeSpec(name="", cpu=THREADRIPPER_3990X)
+
+    def test_homogeneous(self):
+        spec = homogeneous(3)
+        assert len(spec) == 3
+        assert spec.total_cores == 3 * 64
+        assert spec.cpu_specs == (THREADRIPPER_3990X,)
+        with pytest.raises(ValueError):
+            homogeneous(0)
+
+    def test_mixed_fleet_shape(self):
+        spec = mixed_fleet()
+        assert len(spec) == 4
+        assert spec.total_cores == 64 + 64 + 256 + 32
+        assert set(spec.cpu_specs) == {THREADRIPPER_3990X,
+                                       PRODUCTION_SERVER_256, EDGE_NODE_32}
+
+
+class _StubEngine:
+    def __init__(self, queued: int, running: int) -> None:
+        self.queued = queued
+        self.outstanding = queued + running
+
+
+class _StubNode:
+    def __init__(self, index: int, cores: int, queued: int = 0,
+                 running: int = 0, pressure: float = 0.0) -> None:
+        self.index = index
+        self.cores = cores
+        self.engine = _StubEngine(queued, running)
+        self._pressure = pressure
+
+    def pressure_estimate(self) -> float:
+        return self._pressure
+
+
+class _StubQuery:
+    def __init__(self, qos_s: float) -> None:
+        self.qos_s = qos_s
+
+
+class TestRouters:
+    def test_registry_constructs_all(self):
+        for name in ROUTERS:
+            assert make_router(name).name == name
+        with pytest.raises(ValueError):
+            make_router("teleport")
+
+    def test_round_robin_cycles(self):
+        router = make_router("round_robin")
+        nodes = [_StubNode(i, 64) for i in range(3)]
+        picks = [router.choose(nodes, _StubQuery(0.01), 0.0).index
+                 for _ in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_least_outstanding_counts_running(self):
+        nodes = [_StubNode(0, 64, queued=0, running=5),
+                 _StubNode(1, 64, queued=2, running=0)]
+        assert make_router("least_outstanding").choose(
+            nodes, _StubQuery(0.01), 0.0).index == 1
+        # JSQ ignores executing queries: node 0 looks idle.
+        assert make_router("join_shortest_queue").choose(
+            nodes, _StubQuery(0.01), 0.0).index == 0
+
+    def test_pressure_aware_prefers_quiet_node(self):
+        nodes = [_StubNode(0, 64, queued=1, pressure=0.8),
+                 _StubNode(1, 64, queued=1, pressure=0.1)]
+        assert make_router("pressure_aware").choose(
+            nodes, _StubQuery(0.01), 0.0).index == 1
+
+    def test_pressure_aware_width_normalises_depth(self):
+        # Equal pressure, equal backlog: the wide node has the lower
+        # per-width depth and takes the query.
+        nodes = [_StubNode(0, 64, queued=8, pressure=0.2),
+                 _StubNode(1, 256, queued=8, pressure=0.2)]
+        assert make_router("pressure_aware").choose(
+            nodes, _StubQuery(0.01), 0.0).index == 1
+
+    def test_pressure_aware_urgency_weighting(self):
+        # Tight-QoS queries avoid the pressured node even when it has
+        # the shorter queue; loose-QoS queries take the short queue.
+        nodes = [_StubNode(0, 64, queued=1, pressure=0.6),
+                 _StubNode(1, 64, queued=3, pressure=0.0)]
+        router = make_router("pressure_aware")
+        assert router.choose(nodes, _StubQuery(0.010), 0.0).index == 1
+        assert router.choose(nodes, _StubQuery(0.130), 0.0).index == 0
+
+
+class TestIncrementalDrive:
+    """begin/submit/run_until/drain must replay run() exactly."""
+
+    def test_feeding_matches_run(self, light_stack):
+        queries_a = poisson_queries(light_stack.compiled, MIX, 250, 60,
+                                    seed=4)
+        queries_b = poisson_queries(light_stack.compiled, MIX, 250, 60,
+                                    seed=4)
+        engine_a = Engine(light_stack.cost_model,
+                          price_cache=light_stack.price_cache)
+        done_a = engine_a.run(queries_a,
+                              light_stack.make_scheduler("veltair_full"))
+
+        engine_b = Engine(light_stack.cost_model,
+                          price_cache=light_stack.price_cache)
+        engine_b.begin([], light_stack.make_scheduler("veltair_full"))
+        for query in sorted(queries_b, key=lambda q: (q.arrival_s,
+                                                      q.query_id)):
+            engine_b.run_until(query.arrival_s)
+            engine_b.submit(query)
+        done_b = engine_b.drain()
+
+        assert len(done_a) == len(done_b) == 60
+        finished_a = {q.query_id: q.finished_s for q in done_a}
+        finished_b = {q.query_id: q.finished_s for q in done_b}
+        assert finished_a == pytest.approx(finished_b)
+
+    def test_submit_never_rewinds_the_clock(self, light_stack):
+        queries = poisson_queries(light_stack.compiled, MIX, 100, 4,
+                                  seed=1)
+        engine = Engine(light_stack.cost_model,
+                        price_cache=light_stack.price_cache)
+        engine.begin([], light_stack.make_scheduler("veltair_full"))
+        engine.submit(queries[0])       # something to advance through
+        engine.run_until(10.0)
+        assert engine.now == 10.0
+        late = queries[1]
+        late.arrival_s = 1.0  # already in the past
+        engine.submit(late)
+        engine.drain()
+        assert late.started_s >= 10.0
+
+    def test_drive_requires_scheduler(self, light_stack):
+        engine = Engine(light_stack.cost_model)
+        with pytest.raises(RuntimeError):
+            engine.drain()
+
+    def test_quantize_pressure(self, light_stack):
+        engine = Engine(light_stack.cost_model, pressure_quantum=0.05)
+        assert engine.quantize_pressure(0.237) == pytest.approx(0.25)
+        assert engine.quantize_pressure(0.0) == 0.0
+        assert engine.quantize_pressure(5.0) == 1.0
+        coarse = Engine(light_stack.cost_model, pressure_quantum=0.2)
+        assert coarse.quantize_pressure(0.237) == pytest.approx(0.2)
+
+    def test_planning_pressure_uses_engine_quantum(self, light_stack):
+        """Satellite fix: no more hard-coded round(estimate, 2)."""
+        scheduler = VeltairScheduler(light_stack.cost_model,
+                                     light_stack.profiles, proxy=None)
+        engine = Engine(light_stack.cost_model, pressure_quantum=0.2)
+        engine.pressure = lambda exclude_task=None, planning=False: 0.237
+        assert scheduler.planning_pressure(engine) == pytest.approx(0.2)
+
+
+class TestClusterServe:
+    def test_reconciles_exactly(self, light_stack):
+        cluster = Cluster(light_stack, homogeneous(2),
+                          router="pressure_aware")
+        report = cluster.report(MIX, qps=300, count=80, seed=3)
+        assert report.offered == 80
+        assert report.shed == 0
+        assert report.admitted == sum(n.assigned for n in report.nodes)
+        assert report.completed == sum(n.completed for n in report.nodes)
+        assert report.satisfied == sum(n.satisfied for n in report.nodes)
+        assert report.offered == report.admitted + report.shed
+        assert report.completed == 80  # nothing lost without admission
+
+    def test_round_robin_splits_evenly(self, light_stack):
+        cluster = Cluster(light_stack, homogeneous(2), router="round_robin")
+        report = cluster.report(MIX, qps=300, count=81, seed=3)
+        assigned = sorted(n.assigned for n in report.nodes)
+        assert assigned == [40, 41]
+        assert report.load_imbalance == pytest.approx(41 / 40.5)
+
+    def test_deterministic_per_seed(self, light_stack):
+        cluster = Cluster(light_stack, homogeneous(2),
+                          router="pressure_aware")
+        first = cluster.report(MIX, qps=300, count=60, seed=9)
+        second = cluster.report(MIX, qps=300, count=60, seed=9)
+        assert first == second
+
+    def test_pressure_aware_respects_width(self, light_stack):
+        spec = ClusterSpec(name="het", nodes=(
+            NodeSpec(name="small", cpu=EDGE_NODE_32),
+            NodeSpec(name="big", cpu=THREADRIPPER_3990X)))
+        cluster = Cluster(light_stack, spec, router="pressure_aware")
+        report = cluster.report(MIX, qps=350, count=120, seed=3)
+        by_name = {n.name: n for n in report.nodes}
+        # 2/3 of the cores live on the big node; a width-aware router
+        # must send it clearly more than the 50% a blind split would.
+        assert by_name["big"].assigned > 0.55 * report.admitted
+
+    def test_shared_artifacts_single_compile(self, light_stack):
+        spec = ClusterSpec(name="het", nodes=(
+            NodeSpec(name="small", cpu=EDGE_NODE_32),
+            NodeSpec(name="big", cpu=THREADRIPPER_3990X)))
+        Cluster(light_stack, spec).report(MIX, qps=200, count=40, seed=3)
+        assert light_stack.artifact_builds == 1
+        # Per-CPU runtimes are memoised and the reference CPU reuses the
+        # stack's own cache; foreign CPUs get their own (prices are
+        # bound to one cost model and cannot be shared across widths).
+        reference = light_stack.runtime_for(light_stack.cpu)
+        assert reference.price_cache is light_stack.price_cache
+        edge = light_stack.runtime_for(EDGE_NODE_32)
+        assert edge is light_stack.runtime_for(EDGE_NODE_32)
+        assert edge.price_cache is not light_stack.price_cache
+        assert edge.profiles.keys() == light_stack.profiles.keys()
+
+    def test_serve_rejects_empty_stream(self, light_stack):
+        with pytest.raises(ValueError):
+            Cluster(light_stack, homogeneous(1)).serve([])
+
+
+class TestAdmission:
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionPolicy(max_fleet_pressure=1.5)
+        with pytest.raises(ValueError):
+            AdmissionPolicy(mode="panic")
+        with pytest.raises(ValueError):
+            AdmissionPolicy(defer_s=0.0)
+
+    def test_shed_mode_bounds_backlog(self, light_stack):
+        policy = AdmissionPolicy(max_fleet_pressure=1.0,
+                                 max_outstanding_per_core=0.02,
+                                 mode="shed")
+        cluster = Cluster(light_stack, homogeneous(1),
+                          router="round_robin", admission=policy)
+        report = cluster.report(MIX, qps=800, count=120, seed=3)
+        assert report.shed > 0
+        assert report.admitted >= 1  # an idle fleet always admits
+        assert report.offered == report.admitted + report.shed
+        assert report.completed == report.admitted
+        assert report.shed_rate == pytest.approx(report.shed / 120)
+        # Shed queries are QoS violations: satisfaction is measured
+        # against everything offered, not just what got in.
+        assert report.satisfaction_rate <= report.satisfied / max(
+            1, report.admitted)
+
+    def test_defer_mode_retries_then_sheds(self, light_stack):
+        policy = AdmissionPolicy(max_fleet_pressure=1.0,
+                                 max_outstanding_per_core=0.02,
+                                 mode="defer", defer_s=0.005,
+                                 max_defers=2)
+        cluster = Cluster(light_stack, homogeneous(1),
+                          router="round_robin", admission=policy)
+        report = cluster.report(MIX, qps=800, count=120, seed=3)
+        assert report.deferrals > 0
+        assert report.offered == report.admitted + report.shed
+        assert report.completed == report.admitted
+
+    def test_fleet_pressure_core_weighted(self):
+        nodes = [_StubNode(0, 64, pressure=1.0),
+                 _StubNode(1, 192, pressure=0.0)]
+        assert fleet_pressure(nodes) == pytest.approx(0.25)
+
+
+class TestClusterExperiments:
+    def test_sweep_shapes_and_determinism(self, light_stack):
+        serial = sweep_cluster_qps(light_stack, homogeneous(2), MIX,
+                                   [150.0, 300.0], count=40, seed=3)
+        assert [r.offered_qps for r in serial] == [150.0, 300.0]
+        again = sweep_cluster_qps(light_stack, homogeneous(2), MIX,
+                                  [150.0, 300.0], count=40, seed=3)
+        assert serial == again
+
+    def test_capacity_returns_passing_report(self, light_stack):
+        result = cluster_capacity(light_stack, homogeneous(2), MIX,
+                                  count=40, router="pressure_aware",
+                                  target=0.8, low_qps=20.0,
+                                  high_qps=160.0, tolerance_qps=80.0,
+                                  seed=3)
+        assert result.qps >= 20.0
+        assert result.report.satisfaction_rate >= 0.8
+        assert result.router == "pressure_aware"
