@@ -57,7 +57,13 @@ def test_ablation_threshold_policy(stack, benchmark, bench_queries):
             f"{label:20s} {report.satisfaction_rate:13.0%}"
             f" {min(report.average_latency_s * 1e3, 999):11.1f}"
             f" {report.average_cores_used:10.1f}")
-    record("Ablation: dynamic vs pinned thresholds", "\n".join(lines))
+    record("ablation_thresholds",
+           "Ablation: dynamic vs pinned thresholds", "\n".join(lines),
+           metrics={"sat_dynamic":
+                    rows["dynamic (Sec 4.3)"].satisfaction_rate,
+                    **{f"sat_pinned_{p}":
+                       rows[f"pinned thres={p}"].satisfaction_rate
+                       for p in (0, 8, 24)}})
 
     dynamic = rows["dynamic (Sec 4.3)"]
     # The dynamic threshold must be competitive with the best pinned one
@@ -87,8 +93,13 @@ def test_ablation_proxy_vs_oracle(stack, benchmark, bench_queries):
     for label, report in rows.items():
         lines.append(f"{label:16s} {report.satisfaction_rate:13.0%}"
                      f" {min(report.average_latency_s * 1e3, 999):11.1f}")
-    record("Ablation: proxy vs oracle interference estimate",
-           "\n".join(lines))
+    record("ablation_proxy",
+           "Ablation: proxy vs oracle interference estimate",
+           "\n".join(lines),
+           metrics={"sat_proxy":
+                    rows["counter proxy"].satisfaction_rate,
+                    "sat_oracle":
+                    rows["oracle pressure"].satisfaction_rate})
 
     # The cheap proxy should stay close to the oracle's outcome.
     assert (rows["counter proxy"].satisfaction_rate
@@ -117,5 +128,10 @@ def test_ablation_soon_to_finish(stack, benchmark, bench_queries):
     for label, report in rows.items():
         lines.append(f"{label:18s} {report.satisfaction_rate:13.0%}"
                      f" {min(report.average_latency_s * 1e3, 999):11.1f}")
-    record("Ablation: soon-to-finish filter", "\n".join(lines))
+    record("ablation_soon_filter", "Ablation: soon-to-finish filter",
+           "\n".join(lines),
+           metrics={"sat_filter_on":
+                    rows["filter on (10%)"].satisfaction_rate,
+                    "sat_filter_off":
+                    rows["filter off"].satisfaction_rate})
     assert all(r.completed == bench_queries for r in rows.values())

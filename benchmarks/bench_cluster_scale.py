@@ -22,6 +22,9 @@ Run standalone (the CI smoke test uses ``--quick``)::
 
     PYTHONPATH=src python benchmarks/bench_cluster_scale.py --quick
 
+``--json DIR`` additionally writes the machine-readable
+``BENCH_cluster_scale.json`` the perf ratchet compares (see
+``python -m repro.bench``).
 """
 
 from __future__ import annotations
@@ -78,6 +81,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="fork workers per capacity-search round")
     parser.add_argument("--no-check", action="store_true",
                         help="report only; skip the acceptance assertions")
+    parser.add_argument("--json", metavar="DIR", default=None,
+                        help="also write BENCH_cluster_scale.json into "
+                             "DIR")
     args = parser.parse_args(argv)
 
     models = QUICK_MODELS if args.quick else FULL_MODELS
@@ -184,15 +190,48 @@ def main(argv: list[str] | None = None) -> int:
     # a fleet routes them apart.
     print(f"\nhomogeneous 64c fleet scaling (95% target):")
     print(f"{'nodes':>5s} {'capacity':>9s} {'per-node':>9s}")
+    scaling: dict[int, float] = {}
     for node_count in (1, 2, 4):
         result = cluster_capacity(
             stack, homogeneous(node_count), spec, count=count,
             router="pressure_aware", target=0.95, low_qps=5.0,
             high_qps=150.0 * node_count, tolerance_qps=15.0,
             seed=args.seed, workers=args.workers)
+        scaling[node_count] = result.qps
         print(f"{node_count:5d} {result.qps:8.0f}q "
               f"{result.qps / node_count:8.0f}q"
               f"{_bracket_note(result.qps, 150.0 * node_count)}")
+
+    if args.json is not None:
+        from repro.bench.results import BenchResult, write_result
+        metrics = {f"capacity_{router}": qps
+                   for router, qps in capacities.items()}
+        metrics.update({
+            "headroom": headroom,
+            "artifact_builds": float(stack.artifact_builds),
+            "totals_reconcile": 1.0 if exact else 0.0,
+            **{f"scaling_{n}_nodes": qps
+               for n, qps in scaling.items()},
+        })
+        table = "\n".join(
+            [f"{'router':22s} {'capacity':>9s}"]
+            + [f"{router:22s} {qps:8.0f}q"
+               for router, qps in capacities.items()]
+            + ["", f"headroom pressure_aware/round_robin: "
+                   f"{headroom:.2f}x",
+               f"homogeneous 64c scaling: "
+               + " ".join(f"{n}n={qps:.0f}q"
+                          for n, qps in scaling.items())])
+        write_result(BenchResult(
+            name="cluster_scale",
+            title="Cluster scale: fleet capacity per router",
+            metrics=metrics,
+            knobs={"quick": args.quick, "queries": count,
+                   "trials": trials, "models": list(models),
+                   "workers": args.workers},
+            info={"failures": list(failures)},
+            tables={"Cluster scale: fleet capacity per router": table},
+            seed=args.seed), args.json)
 
     if failures and not args.no_check:
         print("\nFAIL:")

@@ -18,6 +18,9 @@ Run standalone (the CI smoke test uses ``--quick``)::
 
     PYTHONPATH=src python benchmarks/bench_engine_scale.py --quick
 
+``--json DIR`` additionally writes the machine-readable
+``BENCH_engine_scale.json`` the perf ratchet compares (see
+``python -m repro.bench``).
 """
 
 from __future__ import annotations
@@ -97,7 +100,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--no-check", action="store_true",
                         help="report only; skip the acceptance assertions")
+    parser.add_argument("--json", metavar="DIR", default=None,
+                        help="also write BENCH_engine_scale.json into DIR")
     args = parser.parse_args(argv)
+
+    lines: list[str] = []
+
+    def out(text: str = "") -> None:
+        print(text)
+        lines.append(text)
 
     models = QUICK_MODELS if args.quick else FULL_MODELS
     count = (args.queries if args.queries is not None
@@ -111,17 +122,17 @@ def main(argv: list[str] | None = None) -> int:
     t0 = time.perf_counter()
     stack = ServingStack(cpu=PRODUCTION_SERVER_256, models=list(models),
                          trials=trials, proxy_scenarios=60, seed=11)
-    print(f"stack: {len(models)} models on {stack.cpu.name}, "
-          f"compiled in {time.perf_counter() - t0:.1f}s")
-    print(f"workload: {spec.name} @ {args.qps:.0f} QPS, {count} queries, "
-          f"seed {args.seed}\n")
+    out(f"stack: {len(models)} models on {stack.cpu.name}, "
+        f"compiled in {time.perf_counter() - t0:.1f}s")
+    out(f"workload: {spec.name} @ {args.qps:.0f} QPS, {count} queries, "
+        f"seed {args.seed}\n")
 
     failures: list[str] = []
     header = (f"{'policy':14s} {'mode':12s} {'pushes/q':>9s} "
               f"{'reprices/q':>11s} {'prices/q':>9s} {'heap':>6s} "
               f"{'sat':>6s} {'wall':>7s}")
-    print(header)
-    print("-" * len(header))
+    out(header)
+    out("-" * len(header))
 
     ratios: dict[str, tuple[float, float]] = {}
     for policy in ("layerwise", "veltair_full"):
@@ -133,18 +144,18 @@ def main(argv: list[str] | None = None) -> int:
                 incremental, cache)
         for incremental, label in ((False, "legacy"), (True, "incremental")):
             r = results[incremental]
-            print(f"{policy:14s} {label:12s} {r.pushes / count:9.1f} "
-                  f"{r.repricings / count:11.1f} {r.prices / count:9.2f} "
-                  f"{r.heap_peak:6d} {r.report.satisfaction_rate:6.2f} "
-                  f"{r.wall_s:6.2f}s")
+            out(f"{policy:14s} {label:12s} {r.pushes / count:9.1f} "
+                f"{r.repricings / count:11.1f} {r.prices / count:9.2f} "
+                f"{r.heap_peak:6d} {r.report.satisfaction_rate:6.2f} "
+                f"{r.wall_s:6.2f}s")
         legacy, incr = results[False], results[True]
         push_ratio = legacy.pushes / max(1, incr.pushes)
         reprice_ratio = legacy.repricings / max(1, incr.repricings)
         ratios[policy] = (push_ratio, reprice_ratio)
         identical = reports_match(legacy.report, incr.report)
-        print(f"{policy:14s} {'reduction':12s} {push_ratio:8.2f}x "
-              f"{reprice_ratio:10.2f}x {'':9s} "
-              f"reports_identical={identical}")
+        out(f"{policy:14s} {'reduction':12s} {push_ratio:8.2f}x "
+            f"{reprice_ratio:10.2f}x {'':9s} "
+            f"reports_identical={identical}")
         if not identical:
             failures.append(f"{policy}: legacy vs incremental reports "
                             "diverged beyond 1e-9")
@@ -152,7 +163,7 @@ def main(argv: list[str] | None = None) -> int:
             failures.append(f"{policy}: incremental heap peak "
                             f"{incr.heap_peak} above legacy "
                             f"{legacy.heap_peak}")
-        print()
+        out()
 
     # Cross-run reuse: the same stream re-simulated through one shared
     # cache — the QPS-bisection access pattern.
@@ -161,9 +172,9 @@ def main(argv: list[str] | None = None) -> int:
                      args.seed, True, shared)
     warm = _run_mode(stack, "veltair_full", spec, args.qps, count,
                      args.seed, True, shared)
-    print(f"shared-cache rerun: prices/q {cold.prices / count:.2f} -> "
-          f"{warm.prices / count:.2f} "
-          f"(hit rate {shared.hit_rate:.1%}, {len(shared)} entries)")
+    out(f"shared-cache rerun: prices/q {cold.prices / count:.2f} -> "
+        f"{warm.prices / count:.2f} "
+        f"(hit rate {shared.hit_rate:.1%}, {len(shared)} entries)")
     if warm.prices > max(8, cold.prices // 10):
         failures.append("shared cache barely reused across runs")
 
@@ -173,6 +184,32 @@ def main(argv: list[str] | None = None) -> int:
             failures.append(
                 f"veltair_full reduction below 3x (pushes {push_ratio:.2f}x,"
                 f" repricings {reprice_ratio:.2f}x)")
+
+    if args.json is not None:
+        from repro.bench.results import BenchResult, write_result
+        metrics = {
+            "full_push_reduction": ratios["veltair_full"][0],
+            "full_reprice_reduction": ratios["veltair_full"][1],
+            "layerwise_push_reduction": ratios["layerwise"][0],
+            "layerwise_reprice_reduction": ratios["layerwise"][1],
+            "reports_identical": 0.0 if any(
+                "diverged" in f for f in failures) else 1.0,
+            "warm_prices_per_query": warm.prices / count,
+            "incremental_sat": incr.report.satisfaction_rate,
+            "cache_hit_rate": shared.hit_rate,
+        }
+        write_result(BenchResult(
+            name="engine_scale",
+            title="Engine hot path: pushes/repricings per query, "
+                  "legacy vs incremental",
+            metrics=metrics,
+            knobs={"quick": args.quick, "qps": args.qps,
+                   "queries": count, "trials": trials,
+                   "models": list(models)},
+            info={"failures": list(failures)},
+            tables={"Engine scale: hot-path reductions":
+                    "\n".join(lines)},
+            seed=args.seed), args.json)
 
     if failures:
         print("\nFAIL:")

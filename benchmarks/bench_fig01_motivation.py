@@ -29,7 +29,9 @@ def test_fig1a_latency_vs_cores(stack, benchmark):
         lines.append(f"{name:18s}"
                      + "".join(f"{v * 1e3:9.2f}" for v in row)
                      + f"  {qos * 1e3:6.1f}ms")
-    record("Fig 1a: latency vs cores (ms)", "\n".join(lines))
+    record("fig01a", "Fig 1a: latency vs cores (ms)", "\n".join(lines),
+           metrics={f"{name}_64c_ms": row[-1] * 1e3
+                    for name, row in latencies.items()})
 
     for name, row in latencies.items():
         qos = stack.compiled[name].qos_s
@@ -78,12 +80,16 @@ def test_fig1b_colocation_slowdown(stack, benchmark):
 
     lines = [f"{'tasks':>6s} {'avg slowdown':>13s}  per-model"]
     final_avg = 1.0
+    averages = {}
     for count, ratios in rows.items():
         avg = sum(ratios.values()) / len(ratios)
         final_avg = avg
+        averages[count] = avg
         detail = " ".join(f"{n}={r:.2f}x" for n, r in ratios.items())
         lines.append(f"{count:6d} {avg:12.2f}x  {detail}")
-    record("Fig 1b: co-location slowdown", "\n".join(lines))
+    record("fig01b", "Fig 1b: co-location slowdown", "\n".join(lines),
+           metrics={f"avg_slowdown_{count}": avg
+                    for count, avg in averages.items()})
 
     assert rows[1] and all(abs(r - 1.0) < 1e-6 for r in rows[1].values())
     # Paper Fig. 1b: slowdown grows with co-location, up to ~1.8x.

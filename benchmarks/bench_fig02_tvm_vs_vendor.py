@@ -19,13 +19,15 @@ def test_fig2_vendor_vs_tuned(stack, benchmark):
         for name in _MODELS:
             graph = stack.compiled[name].graph
             vendor = sum(
-                stack.cost_model.latency(l, vendor_schedule(l), cores, 0.0)
-                for l in graph.layers)
+                stack.cost_model.latency(layer, vendor_schedule(layer),
+                                         cores, 0.0)
+                for layer in graph.layers)
             tuned = sum(
                 stack.cost_model.latency(
-                    l, stack.compiled[name].layers[i].static_version(),
+                    layer,
+                    stack.compiled[name].layers[i].static_version(),
                     cores, 0.0)
-                for i, l in enumerate(graph.layers))
+                for i, layer in enumerate(graph.layers))
             rows[name] = (vendor, tuned)
         return rows
 
@@ -39,7 +41,10 @@ def test_fig2_vendor_vs_tuned(stack, benchmark):
                      f" {vendor / tuned:7.2f}x")
         if tuned < vendor:
             faster += 1
-    record("Fig 2: vendor library vs searched code", "\n".join(lines))
+    record("fig02", "Fig 2: vendor library vs searched code",
+           "\n".join(lines),
+           metrics={f"speedup_{name}": vendor / tuned
+                    for name, (vendor, tuned) in rows.items()})
 
     # Paper Fig. 2: the compiler generally outperforms the library.
     assert faster >= len(_MODELS) - 1

@@ -29,11 +29,16 @@ def test_fig3_granularity(stack, benchmark, bench_queries):
             f"{r.satisfaction_rate:9.0%}" for r in reports))
         lat_lines.append(f"{policy:12s}" + "".join(
             f"{min(r.average_latency_s * 1e3, 999):9.1f}" for r in reports))
-    record("Fig 3a: QoS satisfaction vs QPS", "\n".join(sat_lines))
-    record("Fig 3b: average latency (ms) vs QPS", "\n".join(lat_lines))
-
     sat = {p: [r.satisfaction_rate for r in rs]
            for p, rs in results.items()}
+    record("fig03a", "Fig 3a: QoS satisfaction vs QPS",
+           "\n".join(sat_lines),
+           metrics={f"sat_mean_{p}": sum(rates) / len(rates)
+                    for p, rates in sat.items()})
+    record("fig03b", "Fig 3b: average latency (ms) vs QPS",
+           "\n".join(lat_lines),
+           metrics={f"lat50_ms_{p}": rs[0].average_latency_s * 1e3
+                    for p, rs in results.items()})
     # Everyone healthy at the lowest load.
     for policy in _POLICIES:
         assert sat[policy][0] > 0.9, f"{policy} unhealthy at 50 QPS"

@@ -44,7 +44,10 @@ def test_fig4a_speedup_curves(stack, benchmark):
     for name, speedups in curves.items():
         lines.append(f"{name:22s}"
                      + "".join(f"{s:8.2f}" for s in speedups))
-    record("Fig 4a: speedup vs cores (vs 8 cores)", "\n".join(lines))
+    record("fig04a", "Fig 4a: speedup vs cores (vs 8 cores)",
+           "\n".join(lines),
+           metrics={f"final_speedup_layer{i + 1}": speedups[-1]
+                    for i, speedups in enumerate(curves.values())})
 
     finals = [c[-1] for c in curves.values()]
     # Paper Fig. 4a: speedups between ~2x and ~7.5x at 56 cores, and the
@@ -70,7 +73,13 @@ def test_fig4b_allocation_profile(stack, benchmark):
         "first 20 layers        : "
         + " ".join(str(c) for c in required[:20]),
     ]
-    record("Fig 4b: core allocation, model vs layer", "\n".join(lines))
+    record("fig04b", "Fig 4b: core allocation, model vs layer",
+           "\n".join(lines),
+           metrics={"model_cores": float(profile.model_cores),
+                    "required_min": float(required.min()),
+                    "required_p90": float(np.percentile(required, 90)),
+                    "required_max": float(required.max()),
+                    "avg_cores": float(profile.avg_cores)})
 
     # Paper Fig. 4b: requirements vary widely and the model-wise grant is
     # far from the per-layer minimum for many layers.

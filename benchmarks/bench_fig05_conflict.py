@@ -26,9 +26,10 @@ def test_fig5a_conflict_rate(stack, benchmark, bench_queries):
     for policy, reports in results.items():
         lines.append(f"{policy:12s}" + "".join(
             f"{r.conflict_rate:9.1%}" for r in reports))
-    record("Fig 5a: conflict rate vs QPS", "\n".join(lines))
-
     final = {p: rs[-1].conflict_rate for p, rs in results.items()}
+    record("fig05a", "Fig 5a: conflict rate vs QPS", "\n".join(lines),
+           metrics={f"final_conflict_{p}": rate
+                    for p, rate in final.items()})
     # Layer-wise conflicts dominate; model-wise has none by construction.
     assert final["layerwise"] >= max(final["block6"], final["block11"])
     assert final["model_fcfs"] == 0.0
@@ -47,10 +48,12 @@ def test_fig5b_conflict_overhead(stack, benchmark):
     overheads = benchmark.pedantic(run, rounds=1, iterations=1)
     mean_us = float(np.mean(overheads)) * 1e6
     median_us = float(np.median(overheads)) * 1e6
-    record("Fig 5b: per-layer conflict overhead",
+    record("fig05b", "Fig 5b: per-layer conflict overhead",
            f"mean   = {mean_us:6.1f} us   (paper: ~220 us)\n"
            f"median = {median_us:6.1f} us   (paper: ~100 us)\n"
-           f"max    = {max(overheads) * 1e6:6.1f} us")
+           f"max    = {max(overheads) * 1e6:6.1f} us",
+           metrics={"mean_us": mean_us, "median_us": median_us,
+                    "max_us": max(overheads) * 1e6})
 
     # Same decade as the paper's measurement.
     assert 30 < mean_us < 700

@@ -41,10 +41,15 @@ def test_fig6_version_crossover(stack, benchmark):
                 for c in range(len(levels))]
     lines.append(f"{'envelope':>12s}"
                  + "".join(f"{v * 1e6:9.1f}" for v in envelope))
-    record("Fig 6: versions across interference levels", "\n".join(lines))
-
     iso_version = table[0]
     hot_version = table[-1]
+    record("fig06", "Fig 6: versions across interference levels",
+           "\n".join(lines),
+           metrics={
+               "iso_degradation": iso_version[-1] / iso_version[0],
+               "hot_flatness": hot_version[-1] / hot_version[0],
+               "envelope_gain": iso_version[-1] / envelope[-1],
+           })
     # Isolation-best wins when quiet, loses badly when noisy.
     assert iso_version[0] <= hot_version[0]
     assert hot_version[-1] < iso_version[-1]

@@ -65,13 +65,17 @@ def test_fig7_version_need(stack, benchmark):
         mean_loss[n] = float(per_level.max())
         lines.append(f"{n:9d}" + "".join(f"{per_level[i]:7.1%}"
                                          for i in range(0, 10, 3)))
-    record("Fig 7a: performance loss vs retained versions",
-           "\n".join(lines))
+    record("fig07a", "Fig 7a: performance loss vs retained versions",
+           "\n".join(lines),
+           metrics={f"mean_loss_{n}": loss
+                    for n, loss in mean_loss.items()})
 
     counts, freqs = np.unique(needed, return_counts=True)
     dist = "\n".join(f"{c} version(s): {f / len(needed):.0%}"
                      for c, f in zip(counts, freqs))
-    record("Fig 7b: versions needed for <=10% loss", dist)
+    record("fig07b", "Fig 7b: versions needed for <=10% loss", dist,
+           metrics={"share_le3": sum(1 for n in needed if n <= 3)
+                    / len(needed)})
 
     # Paper Fig. 7a: loss shrinks monotonically with more versions and
     # five versions are close to the full set.

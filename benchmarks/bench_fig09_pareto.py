@@ -7,9 +7,8 @@ FLOPS bound, step 3 extracts the dominant (Pareto) implementations.
 
 from conftest import record
 
-from repro.config import make_rng
 from repro.models.layers import Conv2D
-from repro.compiler.autoscheduler import AutoScheduler, Measured
+from repro.compiler.autoscheduler import AutoScheduler
 from repro.compiler.multiversion import extract_dominant, uniform_pick
 
 _LAYER = Conv2D(name="fig9", height=7, width=7, in_channels=832,
@@ -43,7 +42,11 @@ def test_fig9_pareto_steps(stack, benchmark):
         mark = "  <-- picked" if m in picks else ""
         lines.append(f"{m.schedule.blocking_size:9d} {m.parallelism:12d}"
                      f" {m.latency_s * 1e6:11.2f}{mark}")
-    record("Fig 9: Pareto frontier pipeline", "\n".join(lines))
+    record("fig09", "Fig 9: Pareto frontier pipeline", "\n".join(lines),
+           metrics={"samples": float(search.trials),
+                    "qualified": float(len(qualified)),
+                    "dominant": float(len(frontier)),
+                    "picked": float(len(picks))})
 
     # The QoS filter must actually remove something, and the frontier
     # must trade blocking against parallelism monotonically.

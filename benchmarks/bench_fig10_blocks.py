@@ -27,7 +27,12 @@ def test_fig10_core_usage(stack, benchmark, bench_queries):
         lines.append(f"{policy:12s} {report.average_cores_used:10.1f}"
                      f" {report.max_cores_used:10d}"
                      f" {report.satisfaction_rate:13.0%}")
-    record("Fig 10b: avg/max CPU usage by granularity", "\n".join(lines))
+    metrics = {}
+    for policy, report in reports.items():
+        metrics[f"avg_cores_{policy}"] = report.average_cores_used
+        metrics[f"sat_{policy}"] = report.satisfaction_rate
+    record("fig10b", "Fig 10b: avg/max CPU usage by granularity",
+           "\n".join(lines), metrics=metrics)
 
     dynamic = reports["veltair_as"]
     layer = reports["layerwise"]

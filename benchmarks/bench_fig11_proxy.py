@@ -32,10 +32,15 @@ def test_fig11a_pca(stack, benchmark):
     lines.append("")
     lines.append("explained variance: "
                  + " ".join(f"{r:.1%}" for r in report.explained_ratio[:3]))
-    record("Fig 11a: PCA over performance counters", "\n".join(lines))
-
     loadings = report.dominant_loadings
     l3_share = loadings["l3_miss_rate"] + loadings["l3_accesses_per_s"]
+    record("fig11a", "Fig 11a: PCA over performance counters",
+           "\n".join(lines),
+           metrics={"l3_share": l3_share,
+                    "branch_loading": loadings["branch_miss_rate"],
+                    "frontend_loading":
+                        loadings["frontend_stall_rate"],
+                    "pc1_var": float(report.explained_ratio[0])})
     # Paper Fig. 11a: L3 counters carry the interference signal while
     # code-shape counters (branch, front-end) are noise.  IPC/FLOP rates
     # co-vary with slowdown by construction, so the robust claims are the
@@ -71,7 +76,8 @@ def test_fig11b_proxy_accuracy(stack, benchmark):
         if errors:
             lines.append(f"{key:8s}: n={len(errors):3d} "
                          f"mae={sum(errors) / len(errors):.3f}")
-    record("Fig 11b: linear proxy accuracy", "\n".join(lines))
+    record("fig11b", "Fig 11b: linear proxy accuracy", "\n".join(lines),
+           metrics={"mae": stats["mae"], "r2": stats["r2"]})
 
     # Paper Fig. 11b: predictions track measurements across all levels.
     assert stats["mae"] < 0.2

@@ -44,7 +44,14 @@ def test_fig12_capacity(stack, benchmark, bench_queries, bench_tolerance,
         lines.append(f"{policy:14s}" + "".join(
             f"{table[(n, policy)] / max(table[(n, 'layerwise')], 1):9.2f}x"
             for n in names))
-    record("Fig 12: QPS at 95% QoS satisfied", "\n".join(lines))
+    metrics = {f"{workload}_{policy}": qps
+               for (workload, policy), qps in table.items()}
+    for name in names:
+        metrics[f"speedup_{name}"] = (table[(name, "veltair_full")]
+                                      / max(table[(name, "layerwise")],
+                                            1.0))
+    record("fig12", "Fig 12: QPS at 95% QoS satisfied",
+           "\n".join(lines), metrics=metrics, seed=17)
 
     for name in names:
         full = table[(name, "veltair_full")]

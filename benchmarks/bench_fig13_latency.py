@@ -39,7 +39,12 @@ def test_fig13_latency_vs_isolated(stack, benchmark, bench_queries,
                 for p in _POLICIES}
     lines.append(f"{'average':16s}" + "".join(
         f"{averages[p]:13.2f}x" for p in _POLICIES))
-    record("Fig 13: latency normalised to isolated run", "\n".join(lines))
+    metrics = {f"{model}_{policy}": ratio
+               for (model, policy), ratio in rows.items()}
+    metrics.update({f"avg_{policy}": value
+                    for policy, value in averages.items()})
+    record("fig13", "Fig 13: latency normalised to isolated run",
+           "\n".join(lines), metrics=metrics)
 
     # Paper Fig. 13: the full system runs close to the isolated bound
     # (the bound itself uses the whole 64-core machine, which co-located

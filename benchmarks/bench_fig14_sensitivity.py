@@ -41,8 +41,10 @@ def test_fig14a_core_usage_gap(stack, benchmark, bench_queries):
         gaps[label] = gap
         lines.append(f"{label:10s} {model_cores:11.1f} {dyn_cores:9.1f}"
                      f" {gap:7.1%}")
-    record("Fig 14a: avg core usage, model-wise vs dynamic blocks",
-           "\n".join(lines))
+    record("fig14a", "Fig 14a: avg core usage, model-wise vs dynamic "
+           "blocks", "\n".join(lines),
+           metrics={f"gap_{label.split('%')[0]}": gap
+                    for label, gap in gaps.items()})
 
     # Dynamic blocks never use more cores than the model-wise grant.
     assert all(rows[(label, "veltair_as")]
@@ -72,7 +74,10 @@ def test_fig14b_improvement_vs_versions(stack, benchmark):
     for n, value in scores.items():
         lines.append(f"{n:9d} {value * 1e6:16.1f}"
                      f" {(base - value) / base:7.1%}")
-    record("Fig 14b: improvement vs version count", "\n".join(lines))
+    record("fig14b", "Fig 14b: improvement vs version count",
+           "\n".join(lines),
+           metrics={f"gain_{n}": (base - value) / base
+                    for n, value in scores.items()})
 
     # Paper Fig. 14b: improvement grows then saturates by 4-5 versions.
     assert scores[5] <= scores[1]
@@ -92,8 +97,10 @@ def test_fig14c_version_distribution(stack, benchmark):
     total = sum(counts.values())
     lines = [f"{n} version(s): {counts.get(n, 0) / total:6.1%}"
              for n in sorted(counts)]
-    record("Fig 14c: retained versions across all layers",
-           "\n".join(lines))
+    record("fig14c", "Fig 14c: retained versions across all layers",
+           "\n".join(lines),
+           metrics={f"share_{n}": counts.get(n, 0) / total
+                    for n in sorted(counts)})
 
     # Multi-versioning is actually used, but most layers need few
     # versions (paper Fig. 14c).

@@ -34,7 +34,9 @@ def test_table2_models(stack, benchmark):
     for name, cat, cls, qos, gflops, layers, avg in rows:
         lines.append(f"{name:17s} {cat:15s} {cls:7s} {qos:7.0f}"
                      f" {gflops:8.2f} {layers:7d} {avg:6d}")
-    record("Table 2: evaluated models", "\n".join(lines))
+    record("table2", "Table 2: evaluated models", "\n".join(lines),
+           metrics={"n_models": float(len(rows)),
+                    "total_gflops": sum(r[4] for r in rows)})
 
     assert len(rows) == 7
     classes = {cls for _, _, cls, *_ in rows}
@@ -65,11 +67,12 @@ def test_sec55_scheduler_overhead(stack, benchmark):
 
     done = benchmark.pedantic(run, rounds=1, iterations=1)
     per_model_ms = spent / max(len(done), 1) * 1e3
-    record("Sec 5.5: scheduler overhead",
+    record("sec55_overhead", "Sec 5.5: scheduler overhead",
            f"plan() calls        : {calls}\n"
            f"total decision time : {spent * 1e3:.2f} ms\n"
            f"per served model    : {per_model_ms:.3f} ms "
-           f"(paper: <0.1 ms native; Python here)")
+           f"(paper: <0.1 ms native; Python here)",
+           metrics={"plan_calls": float(calls)})
 
     assert len(done) == 30
     # Python is ~50x slower than native; keep the same complexity class.

@@ -1,9 +1,14 @@
 """Shared benchmark fixtures and result reporting.
 
-Every benchmark registers its paper-style result table via
-:func:`record`; tables are printed in the terminal summary (so they
-survive pytest's output capture) and written to ``benchmarks/results/``
-for EXPERIMENTS.md.
+Every benchmark registers its result via :func:`record`, naming it with
+a stable id (``fig12``, ``ablation_proxy``, ...) and passing the gated
+metrics alongside the paper-style table.  Results flow through
+:mod:`repro.bench.results`: one schema-versioned ``BENCH_<name>.json``
+plus the human ``.txt`` table per result, ownership tracked in
+``results/MANIFEST.json`` so renaming a figure deletes its stale files
+instead of stranding them (the pre-JSON writer leaked one orphaned
+``.txt`` per rename).  ``python -m repro.bench`` collects the same
+JSON files; CI ratchets on them.
 
 Scale knobs (environment variables):
 
@@ -18,11 +23,12 @@ Scale knobs (environment variables):
 from __future__ import annotations
 
 import os
-import re
 from pathlib import Path
+from typing import Mapping
 
 import pytest
 
+from repro.bench.results import BenchResult, write_result
 from repro.serving.server import ServingStack
 
 BENCH_QUERIES = int(os.environ.get("REPRO_BENCH_QUERIES", "150"))
@@ -30,19 +36,30 @@ BENCH_TRIALS = int(os.environ.get("REPRO_BENCH_TRIALS", "192"))
 BENCH_TOL = float(os.environ.get("REPRO_BENCH_TOL", "25"))
 BENCH_WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
 
-_RESULTS_DIR = Path(__file__).parent / "results"
+#: Where results land; the unified runner redirects this so a custom
+#: ``python -m repro.bench --out-dir`` collects pytest figures too.
+_RESULTS_DIR = Path(os.environ.get("REPRO_BENCH_RESULTS_DIR",
+                                   Path(__file__).parent / "results"))
 _REPORTS: list[tuple[str, str]] = []
 
 
-def record(title: str, text: str) -> None:
-    """Register a result table for the terminal summary and disk."""
+def record(name: str, title: str, text: str,
+           metrics: Mapping[str, float] | None = None,
+           seed: int | None = None) -> None:
+    """Register one benchmark result: terminal table + JSON on disk.
+
+    ``name`` is the stable machine id CI keys baselines on; ``title``
+    is the human heading; ``metrics`` are the gated numbers (omit for
+    display-only tables).
+    """
     _REPORTS.append((title, text))
-    _RESULTS_DIR.mkdir(exist_ok=True)
-    # Portable filenames only: figure titles carry ':' and '%', which
-    # are invalid on NTFS and would break a Windows checkout if the
-    # results were ever committed.
-    safe = re.sub(r"[^a-z0-9._-]+", "_", title.lower()).strip("_")
-    (_RESULTS_DIR / f"{safe}.txt").write_text(text + "\n")
+    write_result(
+        BenchResult(
+            name=name, title=title, metrics=dict(metrics or {}),
+            knobs={"queries": BENCH_QUERIES, "trials": BENCH_TRIALS,
+                   "tolerance_qps": BENCH_TOL},
+            tables={title: text}, seed=seed),
+        _RESULTS_DIR)
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):

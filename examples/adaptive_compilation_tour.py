@@ -18,7 +18,6 @@ from repro.compiler import (
     AutoScheduler,
     CostModel,
     SinglePassCompiler,
-    extract_dominant,
     multi_pass_search,
 )
 from repro.hardware import THREADRIPPER_3990X

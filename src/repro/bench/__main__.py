@@ -1,0 +1,286 @@
+"""The unified benchmark runner CLI.
+
+Usage::
+
+    python -m repro.bench --quick                 # the CI ratchet suite
+    python -m repro.bench --full                  # + every paper figure
+    python -m repro.bench --only fig12,cluster_scale
+    python -m repro.bench --quick --check         # fail on regression
+    python -m repro.bench --quick --update-baselines
+    python -m repro.bench --list
+
+Each run writes one schema-versioned ``BENCH_<name>.json`` per result
+(plus the human tables) into ``benchmarks/results/``; ``--check``
+compares them against the committed baselines in
+``benchmarks/baselines/`` with per-metric tolerances and exits non-zero
+on any regression.  Scale knobs come from the ``REPRO_BENCH_*``
+environment variables the pytest benchmarks already honour.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import repro
+from repro.bench.compare import (
+    baseline_path,
+    compare_result,
+    load_baseline,
+    write_baseline,
+)
+from repro.bench.registry import (
+    Benchmark,
+    BenchContext,
+    registered_benchmarks,
+    select_benchmarks,
+)
+from repro.bench.results import (
+    BenchResult,
+    load_result,
+    prune_orphans,
+    result_path,
+    validate_payload,
+    write_result,
+)
+
+
+def _child_env() -> dict[str, str]:
+    """Subprocess env that can ``import repro`` like we can."""
+    env = dict(os.environ)
+    pkg_root = str(Path(repro.__file__).resolve().parent.parent)
+    parts = [pkg_root] + [p for p in
+                          env.get("PYTHONPATH", "").split(os.pathsep) if p]
+    env["PYTHONPATH"] = os.pathsep.join(dict.fromkeys(parts))
+    return env
+
+
+def _run_script(benchmark: Benchmark, ctx: BenchContext) -> bool:
+    """Run a standalone gauge; its --json flag writes the result."""
+    script = ctx.bench_dir / benchmark.path
+    if not script.exists():
+        print(f"  SKIP {benchmark.name}: {script} not found")
+        return False
+    command = [sys.executable, str(script), "--json", str(ctx.out_dir)]
+    if ctx.quick:
+        command.append("--quick")
+    proc = subprocess.run(command, env=_child_env())
+    return proc.returncode == 0
+
+
+def _run_pytest(benchmark: Benchmark, ctx: BenchContext) -> bool:
+    """Run a figure module; its record(...) calls write the results."""
+    module = ctx.bench_dir / benchmark.path
+    if not module.exists():
+        print(f"  SKIP {benchmark.name}: {module} not found")
+        return False
+    command = [sys.executable, "-m", "pytest", str(module), "-q",
+               "-p", "no:cacheprovider"]
+    env = _child_env()
+    # The figure conftest writes where this says; without it a custom
+    # --out-dir would collect nothing.
+    env["REPRO_BENCH_RESULTS_DIR"] = str(ctx.out_dir.resolve())
+    proc = subprocess.run(command, env=env)
+    return proc.returncode == 0
+
+
+def _collect(benchmark: Benchmark,
+             out_dir: Path) -> tuple[list[BenchResult], list[str]]:
+    """Load the results a benchmark should have produced."""
+    results, problems = [], []
+    for name in benchmark.result_names:
+        path = result_path(out_dir, name)
+        if not path.exists():
+            problems.append(f"{benchmark.name}: expected result "
+                            f"{path.name} was not written")
+            continue
+        try:
+            results.append(load_result(path))
+        except ValueError as error:
+            problems.append(f"{benchmark.name}: {path.name}: {error}")
+    return results, problems
+
+
+def _print_summary(rows: list[tuple[str, int, float, str]]) -> None:
+    header = (f"{'benchmark':20s} {'results':>8s} {'wall':>8s} "
+              f"{'status':>10s}")
+    print("\n" + header)
+    print("-" * len(header))
+    for name, count, wall, status in rows:
+        print(f"{name:20s} {count:8d} {wall:7.1f}s {status:>10s}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description=__doc__.splitlines()[0])
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument("--quick", action="store_true",
+                      help="the fast fixed-seed suite CI ratchets on "
+                           "(default)")
+    mode.add_argument("--full", action="store_true",
+                      help="quick suite plus every paper figure")
+    parser.add_argument("--only", default=None,
+                        help="comma-separated benchmark names (see "
+                             "--list); overrides --quick/--full "
+                             "selection")
+    parser.add_argument("--list", action="store_true",
+                        help="list registered benchmarks and exit")
+    parser.add_argument("--check", action="store_true",
+                        help="compare results against committed "
+                             "baselines; exit 1 on regression")
+    parser.add_argument("--update-baselines", action="store_true",
+                        help="bless this run's results as the new "
+                             "baselines")
+    parser.add_argument("--bench-dir", default="benchmarks",
+                        help="directory holding bench_*.py and results/ "
+                             "(default: ./benchmarks)")
+    parser.add_argument("--out-dir", default=None,
+                        help="where BENCH_*.json land (default: "
+                             "<bench-dir>/results)")
+    parser.add_argument("--baseline-dir", default=None,
+                        help="committed baselines (default: "
+                             "<bench-dir>/baselines)")
+    parser.add_argument("--seed", type=int, default=17,
+                        help="base seed for the native suite benchmarks "
+                             "(each derives a fixed offset; baselines "
+                             "are blessed at the default)")
+    parser.add_argument("--prune", action="store_true",
+                        help="after a full-suite run, delete result "
+                             "files no registered benchmark owns")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        print(f"{'name':20s} {'kind':8s} {'quick':>5s}  description")
+        for b in registered_benchmarks():
+            print(f"{b.name:20s} {b.kind:8s} "
+                  f"{'yes' if b.quick else 'no':>5s}  {b.description}")
+        return 0
+
+    bench_dir = Path(args.bench_dir)
+    out_dir = Path(args.out_dir) if args.out_dir else bench_dir / "results"
+    baseline_dir = (Path(args.baseline_dir) if args.baseline_dir
+                    else bench_dir / "baselines")
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    only = ([part.strip() for part in args.only.split(",") if part.strip()]
+            if args.only else None)
+    try:
+        selected = select_benchmarks(only, quick=not args.full)
+    except KeyError as error:
+        parser.error(str(error))
+    if not selected:
+        parser.error("no benchmarks selected")
+
+    quick = not args.full
+    ctx = BenchContext(
+        quick=quick, seed=args.seed, out_dir=out_dir,
+        bench_dir=bench_dir,
+        queries=int(os.environ.get("REPRO_BENCH_QUERIES",
+                                   "120" if quick else "300")),
+        trials=int(os.environ.get("REPRO_BENCH_TRIALS",
+                                  "64" if quick else "192")),
+        tolerance_qps=float(os.environ.get("REPRO_BENCH_TOL",
+                                           "40" if quick else "25")),
+        workers=int(os.environ.get("REPRO_BENCH_WORKERS", "1")))
+
+    print(f"repro.bench: {len(selected)} benchmark(s), "
+          f"{'quick' if quick else 'full'} mode, results -> {out_dir}")
+
+    from repro.bench.suites import run_native
+
+    all_results: list[tuple[Benchmark, BenchResult]] = []
+    failures: list[str] = []
+    rows = []
+    for benchmark in selected:
+        print(f"\n=== {benchmark.name} ({benchmark.kind}): "
+              f"{benchmark.description}")
+        start = time.perf_counter()
+        ok = True
+        try:
+            if benchmark.kind == "native":
+                results, _ = run_native(benchmark, ctx)
+                for result in results:
+                    write_result(result, out_dir)
+            else:
+                runner = (_run_script if benchmark.kind == "script"
+                          else _run_pytest)
+                ok = runner(benchmark, ctx)
+                results, problems = _collect(benchmark, out_dir)
+                failures.extend(problems)
+                ok = ok and not problems
+        except Exception as error:  # a broken benchmark must not
+            ok, results = False, []  # take down the whole suite run
+            failures.append(f"{benchmark.name}: {error!r}")
+        wall = time.perf_counter() - start
+        if not ok:
+            failures.append(f"{benchmark.name}: benchmark failed")
+        for result in results:
+            all_results.append((benchmark, result))
+            shown = ", ".join(f"{k}={v:g}" for k, v in
+                              sorted(result.metrics.items())[:4])
+            more = max(0, len(result.metrics) - 4)
+            print(f"  -> {result_path(out_dir, result.name).name}: "
+                  f"{shown}{f' (+{more} more)' if more else ''}")
+        rows.append((benchmark.name, len(results), wall,
+                     "ok" if ok else "FAILED"))
+
+    # Schema gate: every emitted result must validate.
+    for benchmark, result in all_results:
+        errors = validate_payload(
+            json.loads(result_path(out_dir, result.name).read_text()))
+        for error in errors:
+            failures.append(f"{result.name}: schema: {error}")
+
+    if args.prune and only is None and args.full:
+        known = {name for b in registered_benchmarks()
+                 for name in b.result_names}
+        deleted = prune_orphans(out_dir, known)
+        if deleted:
+            print(f"\npruned orphaned result files: {', '.join(deleted)}")
+
+    if args.update_baselines:
+        for benchmark, result in all_results:
+            path = write_baseline(result, baseline_dir,
+                                  benchmark.tolerances,
+                                  benchmark.default_tolerance)
+            print(f"baseline updated: {path}")
+
+    regressions = []
+    missing_baselines = []
+    if args.check:
+        for benchmark, result in all_results:
+            if not baseline_path(baseline_dir, result.name).exists():
+                missing_baselines.append(result.name)
+                continue
+            baseline, tolerances = load_baseline(baseline_dir,
+                                                 result.name)
+            regressions.extend(
+                compare_result(result, baseline, tolerances,
+                               benchmark.default_tolerance))
+
+    _print_summary(rows)
+    if missing_baselines:
+        print(f"\nno baseline yet (run --update-baselines): "
+              f"{', '.join(missing_baselines)}")
+    if regressions:
+        print("\nPERF RATCHET FAILURES:")
+        for regression in regressions:
+            print(f"  - {regression}")
+    if failures:
+        print("\nFAILURES:")
+        for failure in failures:
+            print(f"  - {failure}")
+    if failures or regressions:
+        return 1
+    print("\nOK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,149 @@
+"""Baseline comparison — the perf ratchet's judgement layer.
+
+A baseline is a previously blessed ``BENCH_<name>.json`` plus a
+``tolerances`` block, committed under ``benchmarks/baselines/``.  CI
+reruns the quick suite on fixed seeds and fails when any gated metric
+leaves its tolerance band; ``--update-baselines`` re-blesses the
+current numbers when a shift is intentional.
+
+Tolerances are per metric: a relative band, an absolute floor (so
+near-zero metrics don't demand impossible relative precision), and a
+direction.  ``two_sided`` (the default) ratchets against *any* silent
+drift — an unexplained improvement is a determinism bug until a human
+blesses it; ``higher_is_better`` / ``lower_is_better`` only fail the
+harmful direction.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Mapping
+
+from repro.bench.results import (
+    BenchResult,
+    result_from_payload,
+    result_path,
+    validate_payload,
+)
+
+DIRECTIONS = ("two_sided", "higher_is_better", "lower_is_better")
+
+
+@dataclass(frozen=True)
+class Tolerance:
+    """Allowed drift for one metric."""
+
+    rel: float = 0.10
+    abs: float = 1e-9
+    direction: str = "two_sided"
+
+    def __post_init__(self) -> None:
+        if self.rel < 0 or self.abs < 0:
+            raise ValueError("tolerances must be non-negative")
+        if self.direction not in DIRECTIONS:
+            raise ValueError(f"direction must be one of {DIRECTIONS}")
+
+    def band(self, baseline: float) -> float:
+        return max(self.abs, self.rel * abs(baseline))
+
+    def verdict(self, current: float, baseline: float) -> str | None:
+        """``None`` if within tolerance, else a failure description."""
+        delta = current - baseline
+        band = self.band(baseline)
+        if abs(delta) <= band:
+            return None
+        if self.direction == "higher_is_better" and delta > 0:
+            return None
+        if self.direction == "lower_is_better" and delta < 0:
+            return None
+        return (f"{current:g} vs baseline {baseline:g} "
+                f"(drift {delta:+g}, band +/-{band:g}, "
+                f"{self.direction})")
+
+    def to_payload(self) -> dict:
+        return {"rel": self.rel, "abs": self.abs,
+                "direction": self.direction}
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, object]) -> "Tolerance":
+        return cls(rel=float(payload.get("rel", 0.10)),
+                   abs=float(payload.get("abs", 1e-9)),
+                   direction=str(payload.get("direction", "two_sided")))
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One gated metric outside its tolerance band."""
+
+    benchmark: str
+    metric: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"{self.benchmark}.{self.metric}: {self.detail}"
+
+
+def baseline_path(directory: str | Path, name: str) -> Path:
+    return result_path(directory, name)
+
+
+def load_baseline(directory: str | Path,
+                  name: str) -> tuple[BenchResult, dict[str, Tolerance]]:
+    """(blessed result, per-metric tolerances) for one benchmark."""
+    payload = json.loads(baseline_path(directory, name).read_text())
+    tolerances = {
+        metric: Tolerance.from_payload(spec)
+        for metric, spec in payload.pop("tolerances", {}).items()}
+    return result_from_payload(payload), tolerances
+
+
+def write_baseline(result: BenchResult, directory: str | Path,
+                   tolerances: Mapping[str, Tolerance],
+                   default: Tolerance) -> Path:
+    """Bless ``result`` as the new baseline, tolerance spec attached.
+
+    Every metric gets an explicit tolerance in the file (the given one
+    or ``default``), so the committed baseline is self-describing — a
+    reviewer sees exactly what band each number is held to.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    payload = result.to_payload()
+    payload["tolerances"] = {
+        metric: (tolerances.get(metric, default)).to_payload()
+        for metric in sorted(result.metrics)}
+    path = baseline_path(directory, result.name)
+    path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    return path
+
+
+def compare_result(current: BenchResult, baseline: BenchResult,
+                   tolerances: Mapping[str, Tolerance],
+                   default: Tolerance | None = None) -> list[Regression]:
+    """Every gated drift of ``current`` outside the baseline's bands.
+
+    Metrics present in the baseline but missing from the current run
+    are regressions (a silently dropped metric is exactly what a
+    ratchet exists to catch); new metrics without a baseline pass — the
+    next ``--update-baselines`` picks them up.
+    """
+    default = default or Tolerance()
+    schema_errors = validate_payload(current.to_payload())
+    if schema_errors:
+        return [Regression(current.name, "<schema>", error)
+                for error in schema_errors]
+    regressions = []
+    for metric in sorted(baseline.metrics):
+        tolerance = tolerances.get(metric, default)
+        if metric not in current.metrics:
+            regressions.append(Regression(
+                current.name, metric,
+                "present in baseline but missing from this run"))
+            continue
+        detail = tolerance.verdict(current.metrics[metric],
+                                   baseline.metrics[metric])
+        if detail is not None:
+            regressions.append(Regression(current.name, metric, detail))
+    return regressions

@@ -1,0 +1,232 @@
+"""The machine-readable benchmark result schema and writer.
+
+One :class:`BenchResult` per benchmark result, serialised as
+``BENCH_<name>.json`` next to the human-readable ``<slug>.txt`` tables.
+The JSON is what CI diffs; the tables are what humans read.
+
+A ``MANIFEST.json`` in the results directory maps each stable result
+*name* to the files it owns.  Renaming a figure title used to strand its
+old ``results/*.txt`` forever (nothing knew the file belonged to the
+figure); the manifest makes ownership explicit, so a rename deletes the
+orphaned files the moment the renamed benchmark records again, and
+:func:`prune_orphans` can sweep files no current benchmark claims.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import subprocess
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Mapping
+
+#: Bump on any incompatible change to the on-disk layout.
+RESULT_SCHEMA = "repro.bench.result/1"
+
+_NAME_RE = re.compile(r"^[a-z0-9][a-z0-9_.-]*$")
+
+
+def slugify(title: str) -> str:
+    """Portable filename stem for a human title (NTFS-safe)."""
+    return re.sub(r"[^a-z0-9._-]+", "_", title.lower()).strip("_")
+
+
+def git_sha() -> str | None:
+    """The checked-out commit, or ``None`` outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"], capture_output=True, text=True,
+            timeout=10)
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def utc_now() -> str:
+    return datetime.now(timezone.utc).isoformat(timespec="seconds")
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """One benchmark's machine-readable outcome.
+
+    ``metrics`` are the gated numbers the perf ratchet compares;
+    ``info`` carries ungated observations (wall clocks, cache sizes —
+    anything environment-dependent); ``knobs`` records the scale
+    configuration (queries, trials, quick/full) so a reader knows what
+    regime produced the numbers; ``tables`` are the paper-style text
+    tables keyed by their display title.
+    """
+
+    name: str
+    title: str
+    metrics: Mapping[str, float]
+    knobs: Mapping[str, object] = field(default_factory=dict)
+    info: Mapping[str, object] = field(default_factory=dict)
+    tables: Mapping[str, str] = field(default_factory=dict)
+    seed: int | None = None
+    sha: str | None = None
+    created_utc: str | None = None
+
+    def __post_init__(self) -> None:
+        if not _NAME_RE.match(self.name):
+            raise ValueError(f"bad benchmark name {self.name!r} (want "
+                             "lowercase [a-z0-9_.-])")
+        for key, value in self.metrics.items():
+            if not isinstance(value, (int, float)) or isinstance(value,
+                                                                 bool):
+                raise ValueError(f"metric {key!r} of {self.name!r} is "
+                                 f"{type(value).__name__}, not a number")
+
+    def to_payload(self) -> dict:
+        return {
+            "schema": RESULT_SCHEMA,
+            "name": self.name,
+            "title": self.title,
+            "metrics": {k: float(v) for k, v in self.metrics.items()},
+            "knobs": dict(self.knobs),
+            "info": dict(self.info),
+            "tables": dict(self.tables),
+            "seed": self.seed,
+            "sha": self.sha if self.sha is not None else git_sha(),
+            "created_utc": (self.created_utc if self.created_utc
+                            is not None else utc_now()),
+        }
+
+
+def validate_payload(payload: Mapping[str, object]) -> list[str]:
+    """Schema-check a loaded payload; returns human-readable errors."""
+    errors: list[str] = []
+    if payload.get("schema") != RESULT_SCHEMA:
+        errors.append(f"schema is {payload.get('schema')!r}, expected "
+                      f"{RESULT_SCHEMA!r}")
+    name = payload.get("name")
+    if not isinstance(name, str) or not _NAME_RE.match(name):
+        errors.append(f"name {name!r} is not a valid benchmark name")
+    if not isinstance(payload.get("title"), str):
+        errors.append("title missing or not a string")
+    metrics = payload.get("metrics")
+    if not isinstance(metrics, Mapping):
+        errors.append("metrics missing or not an object")
+    else:
+        for key, value in metrics.items():
+            if not isinstance(value, (int, float)) or isinstance(value,
+                                                                 bool):
+                errors.append(f"metric {key!r} is not a number")
+    for section in ("knobs", "info", "tables"):
+        if section in payload and not isinstance(payload[section],
+                                                 Mapping):
+            errors.append(f"{section} is not an object")
+    seed = payload.get("seed")
+    if seed is not None and not isinstance(seed, int):
+        errors.append("seed is neither null nor an integer")
+    return errors
+
+
+def result_from_payload(payload: Mapping[str, object]) -> BenchResult:
+    errors = validate_payload(payload)
+    if errors:
+        raise ValueError("invalid bench result: " + "; ".join(errors))
+    return BenchResult(
+        name=payload["name"], title=payload["title"],
+        metrics=dict(payload["metrics"]),
+        knobs=dict(payload.get("knobs", {})),
+        info=dict(payload.get("info", {})),
+        tables=dict(payload.get("tables", {})),
+        seed=payload.get("seed"), sha=payload.get("sha"),
+        created_utc=payload.get("created_utc"))
+
+
+def load_result(path: str | Path) -> BenchResult:
+    return result_from_payload(json.loads(Path(path).read_text()))
+
+
+def result_path(directory: str | Path, name: str) -> Path:
+    return Path(directory) / f"BENCH_{name}.json"
+
+
+# ---------------------------------------------------------------------------
+# Manifest-tracked writing
+
+
+def _load_manifest(directory: Path) -> dict[str, list[str]]:
+    path = directory / "MANIFEST.json"
+    if not path.exists():
+        return {}
+    try:
+        manifest = json.loads(path.read_text())
+    except (ValueError, OSError):
+        return {}
+    if not isinstance(manifest, dict):
+        return {}
+    return {str(k): [str(f) for f in v] for k, v in manifest.items()
+            if isinstance(v, list)}
+
+
+def _save_manifest(directory: Path, manifest: dict[str, list[str]]) -> None:
+    (directory / "MANIFEST.json").write_text(
+        json.dumps(manifest, indent=1, sort_keys=True) + "\n")
+
+
+def write_result(result: BenchResult,
+                 directory: str | Path) -> Path:
+    """Write ``BENCH_<name>.json`` + per-table ``.txt`` files.
+
+    Ownership is recorded in the directory manifest; files previously
+    owned by this result name but no longer produced (a renamed figure
+    title, a dropped table) are deleted, which is what keeps the
+    results directory free of stale tables.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    payload = result.to_payload()
+
+    json_path = result_path(directory, result.name)
+    json_path.write_text(json.dumps(payload, indent=1, sort_keys=True)
+                         + "\n")
+    owned = [json_path.name]
+    for title, text in result.tables.items():
+        table_path = directory / f"{slugify(title)}.txt"
+        table_path.write_text(text.rstrip("\n") + "\n")
+        owned.append(table_path.name)
+
+    manifest = _load_manifest(directory)
+    for stale in set(manifest.get(result.name, [])) - set(owned):
+        (directory / stale).unlink(missing_ok=True)
+    manifest[result.name] = sorted(owned)
+    _save_manifest(directory, manifest)
+    return json_path
+
+
+def prune_orphans(directory: str | Path,
+                  known_names: set[str] | None = None) -> list[str]:
+    """Delete result files no manifest entry (or current name) owns.
+
+    With ``known_names`` given, manifest entries for benchmarks that no
+    longer exist are dropped too (their files deleted).  Returns the
+    deleted file names.  Non-result files (the manifest itself, hidden
+    files) are never touched.
+    """
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    manifest = _load_manifest(directory)
+    if known_names is not None:
+        for name in list(manifest):
+            if name not in known_names:
+                del manifest[name]
+    owned = {f for files in manifest.values() for f in files}
+    deleted = []
+    for path in sorted(directory.iterdir()):
+        if not path.is_file() or path.name == "MANIFEST.json":
+            continue
+        if path.suffix not in (".txt", ".json"):
+            continue
+        if path.name not in owned:
+            path.unlink()
+            deleted.append(path.name)
+    _save_manifest(directory, manifest)
+    return deleted

@@ -1,0 +1,300 @@
+"""The built-in benchmark suite.
+
+Quick suite (what CI ratchets on, ``--quick``):
+
+* ``scenario_capacity`` — capacity under every arrival shape, plus the
+  legacy-vs-scenario Poisson cross-check (must agree to 1e-9).
+* ``scenario_service``  — QoS satisfaction / latency per scenario at a
+  fixed mean load.
+* ``trace_roundtrip``   — record -> save -> load -> replay equality,
+  single-node and fleet.
+* ``engine_scale`` / ``cluster_scale`` — the standalone scale gauges.
+
+Full suite adds every paper figure (``benchmarks/bench_fig*.py``, run
+through pytest; their ``record(...)`` calls write the JSON results).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+from repro.bench.compare import Tolerance
+from repro.bench.registry import (
+    Benchmark,
+    BenchContext,
+    register_benchmark,
+)
+from repro.bench.results import BenchResult
+
+#: The two-model stack every native quick benchmark shares.
+_QUICK_MODELS = ("mobilenet_v2", "googlenet")
+#: Scenario shapes the suite exercises (mix-agnostic ones).
+_SHAPES = ("poisson", "bursty", "diurnal", "flash_crowd", "tenant_churn")
+
+#: Exact-equality tolerance: the metric is a delta that must be ~0.
+_EXACT = Tolerance(rel=0.0, abs=1e-9)
+#: Capacity numbers: bisection-quantised, allow modest drift.
+_CAPACITY = Tolerance(rel=0.15, abs=5.0)
+#: Rates/latencies: deterministic, but leave room for env drift.
+_RATE = Tolerance(rel=0.10, abs=0.02)
+
+
+def _quick_spec():
+    from repro.serving.workload import WorkloadSpec
+    return WorkloadSpec(name="quick-mix",
+                        entries=(("mobilenet_v2", 2.0),
+                                 ("googlenet", 1.0)))
+
+
+def _report_fields(report, prefix: str) -> dict[str, float]:
+    return {
+        f"{prefix}_sat": report.satisfaction_rate,
+        f"{prefix}_avg_ms": report.average_latency_s * 1e3,
+        f"{prefix}_p99_ms": report.p99_latency_s * 1e3,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Native quick benchmarks
+
+
+def _run_scenario_capacity(ctx: BenchContext) -> list[BenchResult]:
+    from repro.serving.experiments import capacity
+    stack = ctx.stack(_QUICK_MODELS)
+    spec = _quick_spec()
+    search = dict(count=ctx.queries, tolerance_qps=ctx.tolerance_qps,
+                  low_qps=5.0, high_qps=400.0, seed=ctx.seed,
+                  workers=ctx.workers)
+
+    metrics: dict[str, float] = {}
+    info: dict[str, object] = {}
+    lines = [f"{'scenario':14s} {'policy':14s} {'capacity':>9s} "
+             f"{'sat':>7s}"]
+    # Legacy path (scenario=None) vs the "poisson" scenario: the
+    # acceptance cross-check that the default scenario reproduces
+    # pre-scenario capacity numbers.
+    deltas = []
+    for policy in ("layerwise", "veltair_full"):
+        legacy = capacity(stack, policy, spec, **search)
+        scen = capacity(stack, policy, spec, scenario="poisson", **search)
+        metrics[f"capacity_{policy}"] = legacy.qps
+        deltas.append(abs(legacy.qps - scen.qps))
+        lines.append(f"{'(legacy)':14s} {policy:14s} {legacy.qps:8.0f}q "
+                     f"{legacy.report.satisfaction_rate:7.2%}")
+    metrics["poisson_equivalence_max_abs"] = max(deltas)
+
+    for shape in _SHAPES:
+        result = capacity(stack, "veltair_full", spec, scenario=shape,
+                          **search)
+        metrics[f"capacity_full_{shape}"] = result.qps
+        lines.append(f"{shape:14s} {'veltair_full':14s} "
+                     f"{result.qps:8.0f}q "
+                     f"{result.report.satisfaction_rate:7.2%}")
+    info["policies"] = ["layerwise", "veltair_full"]
+
+    title = "Scenario capacity: QPS at 95% QoS per arrival shape"
+    return [BenchResult(
+        name="scenario_capacity", title=title, metrics=metrics,
+        knobs=ctx.knobs(models=list(_QUICK_MODELS)), info=info,
+        tables={title: "\n".join(lines)}, seed=ctx.seed)]
+
+
+def _run_scenario_service(ctx: BenchContext) -> list[BenchResult]:
+    from repro.serving.metrics import summarize
+    from repro.serving.workload import scenario_queries
+
+    stack = ctx.stack(_QUICK_MODELS)
+    spec = _quick_spec()
+    qps = 150.0
+    seed = ctx.seed + 6  # offset: independent of the capacity stream
+    metrics: dict[str, float] = {}
+    lines = [f"{'scenario':14s} {'sat':>7s} {'avg':>9s} {'p99':>9s} "
+             f"{'span':>7s}"]
+    for shape in _SHAPES:
+        queries = scenario_queries(stack.compiled, shape, qps,
+                                   ctx.queries, seed=seed, spec=spec)
+        completed, engine = stack.run("veltair_full", queries)
+        report = summarize(completed, engine.metrics, qps)
+        span = max(q.arrival_s for q in queries)
+        metrics.update(_report_fields(report, shape))
+        metrics[f"{shape}_empirical_qps"] = len(queries) / span
+        lines.append(f"{shape:14s} {report.satisfaction_rate:7.2%} "
+                     f"{report.average_latency_s * 1e3:7.2f}ms "
+                     f"{report.p99_latency_s * 1e3:7.2f}ms "
+                     f"{span:6.2f}s")
+    title = (f"Scenario service: veltair_full at {qps:.0f} mean QPS "
+             "per arrival shape")
+    return [BenchResult(
+        name="scenario_service", title=title, metrics=metrics,
+        knobs=ctx.knobs(models=list(_QUICK_MODELS), qps=qps),
+        tables={title: "\n".join(lines)}, seed=seed)]
+
+
+def _run_trace_roundtrip(ctx: BenchContext) -> list[BenchResult]:
+    import tempfile
+    from pathlib import Path
+
+    from repro.cluster import Cluster, homogeneous
+    from repro.serving.metrics import summarize
+    from repro.serving.workload import scenario_queries
+    from repro.workloads import ArrivalTrace, record_trace
+
+    stack = ctx.stack(_QUICK_MODELS)
+    spec = _quick_spec()
+    qps = 120.0
+    seed = ctx.seed + 12  # offset: independent of the other suites
+
+    def fresh_stream():
+        # Engines mutate queries, so every consumer needs its own copy;
+        # a fixed seed makes regenerations identical.
+        return scenario_queries(stack.compiled, "bursty", qps,
+                                ctx.queries, seed=seed, spec=spec)
+
+    trace = record_trace(fresh_stream(), "bench-roundtrip",
+                         meta={"scenario": "bursty", "qps": qps,
+                               "seed": seed})
+    with tempfile.TemporaryDirectory() as tmp:
+        path = trace.save(Path(tmp) / "trace.json")
+        loaded = ArrivalTrace.load(path)
+
+    def node_report(qs):
+        completed, engine = stack.run("veltair_full", qs)
+        return summarize(completed, engine.metrics, qps)
+
+    direct = node_report(fresh_stream())
+    replay = node_report(loaded.replay(stack.compiled))
+    single_delta = max(
+        abs(getattr(direct, f.name) - getattr(replay, f.name))
+        for f in dataclasses.fields(direct)
+        if isinstance(getattr(direct, f.name), float))
+
+    fleet = homogeneous(2)
+    direct_fleet = Cluster(stack, fleet).serve(fresh_stream(),
+                                               offered_qps=qps)
+    replay_fleet = Cluster(stack, fleet).serve(
+        loaded.replay(stack.compiled), offered_qps=qps)
+    cluster_delta = max(
+        abs(direct_fleet.satisfaction_rate
+            - replay_fleet.satisfaction_rate),
+        abs(direct_fleet.goodput_qps - replay_fleet.goodput_qps))
+
+    metrics = {
+        "single_node_max_abs_delta": single_delta,
+        "cluster_max_abs_delta": cluster_delta,
+        "replay_sat": replay.satisfaction_rate,
+        "fleet_replay_sat": replay_fleet.satisfaction_rate,
+        "trace_span_s": trace.span_s,
+    }
+    title = "Trace record/replay round trip (single node + fleet)"
+    lines = [
+        f"trace: {len(trace)} arrivals over {trace.span_s:.2f}s (bursty "
+        f"@ {qps:.0f} mean QPS)",
+        f"single-node report max |direct - replay| = {single_delta:.2e}",
+        f"2-node fleet max |direct - replay| = {cluster_delta:.2e}",
+        f"replay sat single={replay.satisfaction_rate:.2%} "
+        f"fleet={replay_fleet.satisfaction_rate:.2%}",
+    ]
+    return [BenchResult(
+        name="trace_roundtrip", title=title, metrics=metrics,
+        knobs=ctx.knobs(models=list(_QUICK_MODELS), qps=qps),
+        tables={title: "\n".join(lines)}, seed=seed)]
+
+
+_SCENARIO_CAPACITY_TOL = {"poisson_equivalence_max_abs": _EXACT}
+_TRACE_TOL = {"single_node_max_abs_delta": _EXACT,
+              "cluster_max_abs_delta": _EXACT,
+              "trace_span_s": Tolerance(rel=0.05, abs=0.01)}
+
+register_benchmark(Benchmark(
+    name="scenario_capacity", kind="native", quick=True,
+    description="capacity per arrival shape + legacy/scenario "
+                "Poisson cross-check",
+    runner=_run_scenario_capacity,
+    tolerances=_SCENARIO_CAPACITY_TOL, default_tolerance=_CAPACITY))
+register_benchmark(Benchmark(
+    name="scenario_service", kind="native", quick=True,
+    description="QoS satisfaction and latency per scenario at fixed "
+                "mean load",
+    runner=_run_scenario_service, default_tolerance=_RATE))
+register_benchmark(Benchmark(
+    name="trace_roundtrip", kind="native", quick=True,
+    description="trace record->save->load->replay equality, "
+                "single-node and fleet",
+    runner=_run_trace_roundtrip, tolerances=_TRACE_TOL,
+    default_tolerance=_RATE))
+
+# ---------------------------------------------------------------------------
+# Standalone scale gauges (scripts with their own acceptance checks)
+
+register_benchmark(Benchmark(
+    name="engine_scale", kind="script", quick=True,
+    description="engine hot-path pushes/repricings per query, "
+                "legacy vs incremental",
+    path="bench_engine_scale.py",
+    tolerances={"reports_identical": _EXACT},
+    default_tolerance=Tolerance(rel=0.25, abs=0.5)))
+register_benchmark(Benchmark(
+    name="cluster_scale", kind="script", quick=True,
+    description="fleet capacity per router; compile-pass sharing; "
+                "reconciliation",
+    path="bench_cluster_scale.py",
+    tolerances={"totals_reconcile": _EXACT,
+                "artifact_builds": _EXACT},
+    default_tolerance=Tolerance(rel=0.30, abs=10.0)))
+
+# ---------------------------------------------------------------------------
+# Paper figures (pytest modules; full suite only)
+
+_FIGURES: tuple[tuple[str, str, tuple[str, ...], str], ...] = (
+    ("fig01", "bench_fig01_motivation.py", ("fig01a", "fig01b"),
+     "latency vs cores; co-location slowdown"),
+    ("fig02", "bench_fig02_tvm_vs_vendor.py", ("fig02",),
+     "vendor library vs searched code"),
+    ("fig03", "bench_fig03_granularity.py", ("fig03a", "fig03b"),
+     "QoS satisfaction and latency vs QPS by granularity"),
+    ("fig04", "bench_fig04_core_scaling.py", ("fig04a", "fig04b"),
+     "speedup vs cores; core allocation"),
+    ("fig05", "bench_fig05_conflict.py", ("fig05a", "fig05b"),
+     "conflict rate vs QPS; per-layer conflict overhead"),
+    ("fig06", "bench_fig06_versions.py", ("fig06",),
+     "versions across interference levels"),
+    ("fig07", "bench_fig07_version_need.py", ("fig07a", "fig07b"),
+     "performance loss vs retained versions"),
+    ("fig09", "bench_fig09_pareto.py", ("fig09",),
+     "Pareto frontier pipeline"),
+    ("fig10", "bench_fig10_blocks.py", ("fig10b",),
+     "CPU usage by granularity"),
+    ("fig11", "bench_fig11_proxy.py", ("fig11a", "fig11b"),
+     "counter PCA; linear proxy accuracy"),
+    ("fig12", "bench_fig12_qps.py", ("fig12",),
+     "QPS at 95% QoS satisfied (headline)"),
+    ("fig13", "bench_fig13_latency.py", ("fig13",),
+     "latency normalised to isolated run"),
+    ("fig14", "bench_fig14_sensitivity.py",
+     ("fig14a", "fig14b", "fig14c"),
+     "sensitivity: core usage, versions"),
+    ("table2", "bench_table2_overhead.py", ("table2", "sec55_overhead"),
+     "evaluated models; scheduler overhead"),
+    ("ablations", "bench_ablations.py",
+     ("ablation_thresholds", "ablation_proxy", "ablation_soon_filter"),
+     "threshold / proxy / filter ablations"),
+)
+
+for _name, _path, _produces, _desc in _FIGURES:
+    register_benchmark(Benchmark(
+        name=_name, kind="pytest", quick=False, description=_desc,
+        path=_path, produces=_produces,
+        default_tolerance=Tolerance(rel=0.15, abs=0.05)))
+
+
+# ---------------------------------------------------------------------------
+# Shared run helper (used by the CLI)
+
+
+def run_native(benchmark: Benchmark,
+               ctx: BenchContext) -> tuple[list[BenchResult], float]:
+    """Run a native benchmark, returning (results, wall seconds)."""
+    start = time.perf_counter()
+    results = benchmark.runner(ctx)
+    return results, time.perf_counter() - start

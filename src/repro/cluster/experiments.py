@@ -19,6 +19,7 @@ from repro.cluster.spec import ClusterSpec
 from repro.serving.experiments import fork_worker_pool
 from repro.serving.metrics import max_qps_at_satisfaction
 from repro.serving.server import ServingStack
+from repro.workloads.scenario import resolve_scenario
 from repro.serving.workload import WorkloadSpec
 
 #: Sweep description inherited by fork()-ed workers, exactly like
@@ -29,18 +30,18 @@ _CLUSTER_STATE: tuple | None = None
 def _run_cluster_point(stack: ServingStack, cluster_spec: ClusterSpec,
                        router: str, admission: AdmissionPolicy | None,
                        spec: WorkloadSpec, qps: float, count: int,
-                       seed: int | None) -> ClusterReport:
+                       seed: int | None, scenario=None) -> ClusterReport:
     """Simulate one fleet offered-load point and roll it up."""
     cluster = Cluster(stack, cluster_spec, router=router,
                       admission=admission)
-    return cluster.report(spec, qps, count, seed=seed)
+    return cluster.report(spec, qps, count, seed=seed, scenario=scenario)
 
 
 def _cluster_worker(qps: float) -> ClusterReport:
-    stack, cluster_spec, router, admission, spec, count, seed = \
-        _CLUSTER_STATE
+    (stack, cluster_spec, router, admission, spec, count, seed,
+     scenario) = _CLUSTER_STATE
     return _run_cluster_point(stack, cluster_spec, router, admission,
-                              spec, qps, count, seed)
+                              spec, qps, count, seed, scenario)
 
 
 @contextlib.contextmanager
@@ -48,7 +49,8 @@ def cluster_sweep_pool(stack: ServingStack, cluster_spec: ClusterSpec,
                        spec: WorkloadSpec, count: int,
                        router: str = "pressure_aware",
                        admission: AdmissionPolicy | None = None,
-                       seed: int | None = None, workers: int = 2):
+                       seed: int | None = None, workers: int = 2,
+                       scenario=None):
     """A persistent fork pool for *repeated* sweeps of one fleet scenario.
 
     The cluster twin of :func:`repro.serving.experiments.sweep_pool`,
@@ -60,13 +62,14 @@ def cluster_sweep_pool(stack: ServingStack, cluster_spec: ClusterSpec,
     with the serving layer via :func:`fork_worker_pool`.
     """
     global _CLUSTER_STATE
+    scenario = resolve_scenario(scenario)
     # Warm the per-CPU runtimes before forking so children inherit the
     # memoised cost models / profiles / proxies by copy-on-write instead
     # of each re-fitting them for every foreign node width.
     for cpu in cluster_spec.cpu_specs:
         stack.runtime_for(cpu)
     _CLUSTER_STATE = (stack, cluster_spec, router, admission, spec,
-                      count, seed)
+                      count, seed, scenario)
     try:
         with fork_worker_pool(workers) as pool:
             if pool is not None:
@@ -82,7 +85,7 @@ def sweep_cluster_qps(stack: ServingStack, cluster_spec: ClusterSpec,
                       admission: AdmissionPolicy | None = None,
                       seed: int | None = None,
                       workers: int | None = None,
-                      pool=None) -> list[ClusterReport]:
+                      pool=None, scenario=None) -> list[ClusterReport]:
     """One :class:`ClusterReport` per offered load, optionally parallel.
 
     Same contract as :func:`repro.serving.experiments.sweep_qps`: every
@@ -94,10 +97,11 @@ def sweep_cluster_qps(stack: ServingStack, cluster_spec: ClusterSpec,
     qps_list = [float(qps) for qps in qps_values]
     if not qps_list:
         return []
+    scenario = resolve_scenario(scenario)
     if pool is not None:
         baked = getattr(pool, "_repro_cluster_state", None)
         if baked != (stack, cluster_spec, router, admission, spec, count,
-                     seed):
+                     seed, scenario):
             raise ValueError(
                 "pool was created for a different fleet scenario; build "
                 "it with cluster_sweep_pool(...) using these same "
@@ -108,21 +112,23 @@ def sweep_cluster_qps(stack: ServingStack, cluster_spec: ClusterSpec,
             # Worker/pipe died mid-run: recompute this batch serially
             # rather than aborting the capacity search.
             return [_run_cluster_point(stack, cluster_spec, router,
-                                       admission, spec, qps, count, seed)
+                                       admission, spec, qps, count, seed,
+                                       scenario)
                     for qps in qps_list]
     requested = 1 if workers is None else max(1, int(workers))
     requested = min(requested, len(qps_list))
     if requested > 1:
         with cluster_sweep_pool(stack, cluster_spec, spec, count,
                                 router=router, admission=admission,
-                                seed=seed, workers=requested) as ephemeral:
+                                seed=seed, workers=requested,
+                                scenario=scenario) as ephemeral:
             if ephemeral is not None:
                 try:
                     return ephemeral.map(_cluster_worker, qps_list)
                 except OSError:
                     pass  # worker/pipe died mid-run: recompute serially
     return [_run_cluster_point(stack, cluster_spec, router, admission,
-                               spec, qps, count, seed)
+                               spec, qps, count, seed, scenario)
             for qps in qps_list]
 
 
@@ -145,7 +151,8 @@ def cluster_capacity(stack: ServingStack, cluster_spec: ClusterSpec,
                      low_qps: float = 10.0, high_qps: float = 1600.0,
                      tolerance_qps: float = 25.0,
                      seed: int | None = None,
-                     workers: int | None = None) -> ClusterCapacityResult:
+                     workers: int | None = None,
+                     scenario=None) -> ClusterCapacityResult:
     """Max offered QPS with ``target`` fleet QoS satisfaction.
 
     The fleet version of the paper's Fig. 12 metric: shed queries count
@@ -156,13 +163,14 @@ def cluster_capacity(stack: ServingStack, cluster_spec: ClusterSpec,
     across rounds.
     """
     batch = 1 if workers is None else max(1, int(workers))
+    scenario = resolve_scenario(scenario)
 
     def search(pool) -> tuple[float, ClusterReport]:
         def run_batch(qps_values: list[float]) -> list[ClusterReport]:
             return sweep_cluster_qps(stack, cluster_spec, spec,
                                      qps_values, count, router=router,
                                      admission=admission, seed=seed,
-                                     pool=pool)
+                                     pool=pool, scenario=scenario)
 
         return max_qps_at_satisfaction(
             run_batch=run_batch, batch=batch, target=target,
@@ -172,7 +180,8 @@ def cluster_capacity(stack: ServingStack, cluster_spec: ClusterSpec,
     if batch > 1:
         with cluster_sweep_pool(stack, cluster_spec, spec, count,
                                 router=router, admission=admission,
-                                seed=seed, workers=batch) as pool:
+                                seed=seed, workers=batch,
+                                scenario=scenario) as pool:
             qps, report = search(pool)
     else:
         qps, report = search(None)

@@ -32,7 +32,11 @@ from repro.runtime.engine import Engine
 from repro.runtime.tasks import Query
 from repro.serving.metrics import summarize
 from repro.serving.server import ServingStack
-from repro.serving.workload import WorkloadSpec, poisson_queries
+from repro.serving.workload import (
+    WorkloadSpec,
+    poisson_queries,
+    scenario_queries,
+)
 
 
 class ClusterNode:
@@ -162,9 +166,20 @@ class Cluster:
             offered_qps=offered_qps, router=router.name)
 
     def report(self, spec: WorkloadSpec, qps: float, count: int,
-               seed: int | None = None) -> ClusterReport:
-        """Generate a Poisson stream, serve it fleet-wide, summarise."""
-        queries = poisson_queries(
-            self.stack.compiled, spec, qps, count,
-            seed=self.stack.seed if seed is None else seed)
+               seed: int | None = None, scenario=None) -> ClusterReport:
+        """Generate a stream, serve it fleet-wide, summarise.
+
+        Default arrivals are the stationary Poisson stream; a
+        ``scenario`` (:class:`repro.workloads.ScenarioSpec` or
+        registered name) swaps in any trace-driven shape at mean rate
+        ``qps`` — the fleet twin of ``ServingStack.report``.
+        """
+        effective_seed = self.stack.seed if seed is None else seed
+        if scenario is not None:
+            queries = scenario_queries(self.stack.compiled, scenario,
+                                       qps, count, seed=effective_seed,
+                                       spec=spec)
+        else:
+            queries = poisson_queries(self.stack.compiled, spec, qps,
+                                      count, seed=effective_seed)
         return self.serve(queries, offered_qps=qps)

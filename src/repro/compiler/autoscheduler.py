@@ -11,8 +11,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.config import make_rng
 from repro.models.layers import LayerSpec
 from repro.compiler.costmodel import CostModel

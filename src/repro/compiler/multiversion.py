@@ -179,7 +179,6 @@ class SinglePassCompiler:
             layer, interference=0.0, trials=self.trials,
             seed=self.seed ^ (zlib.crc32(repr(layer.signature).encode())
                               & 0x7FFFFFFF))
-        cores = search.cores
 
         qualified = [m for m in search.samples
                      if m.latency_s <= qos_budget_s]

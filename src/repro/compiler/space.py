@@ -14,7 +14,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.models.layers import GemmShape, LayerSpec
-from repro.compiler.schedule import Schedule, num_tiles
+from repro.compiler.schedule import Schedule
 
 #: Unroll factors the code generator offers.
 UNROLL_CANDIDATES = (1, 2, 4, 8, 16)

@@ -97,8 +97,9 @@ def collect_aggregate_samples(cost_model: CostModel,
                                                       len(entry.versions)))]
             cores = int(rng.integers(4, max(5, cpu.cores // group + 1)))
             picks.append((entry.layer, version, cores))
-        contributions = [cost_model.pressure_contribution(l, v, c)
-                         for l, v, c in picks]
+        contributions = [
+            cost_model.pressure_contribution(layer, version, cores)
+            for layer, version, cores in picks]
         total_pressure = min(1.0, sum(contributions))
 
         misses = 0.0

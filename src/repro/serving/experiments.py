@@ -9,6 +9,11 @@ fan them out over ``fork``-ed worker processes.  The capacity search
 (:func:`capacity`, the Fig. 12 protocol) and the latency curves
 (:func:`reports_over_qps`, Fig. 13) both run through it; with
 ``workers=1`` every call reduces to the classic sequential protocol.
+
+Every driver accepts a ``scenario`` (:class:`repro.workloads.ScenarioSpec`
+or registered name): the arrival shape the sweep scales to each offered
+load.  ``None`` keeps the legacy stationary-Poisson path, which the
+``"poisson"`` scenario reproduces bit for bit.
 """
 
 from __future__ import annotations
@@ -26,20 +31,39 @@ from repro.serving.server import ServingStack
 from repro.serving.workload import (
     WorkloadSpec,
     poisson_queries,
+    scenario_queries,
     uniform_queries,
 )
 
 #: Sweep description inherited by fork()-ed workers: (stack, policy,
-#: spec, count, seed, uniform).  Module-level so the child processes see
-#: it through copy-on-write instead of pickling the compiled stack.
+#: spec, count, seed, uniform, scenario).  Module-level so the child
+#: processes see it through copy-on-write instead of pickling the
+#: compiled stack.
 _SWEEP_STATE: tuple | None = None
+
+
+def _resolve_scenario(scenario):
+    """Registered name -> spec (specs and ``None`` pass through).
+
+    Thin lazy-import shim over
+    :func:`repro.workloads.scenario.resolve_scenario` —
+    ``repro.workloads`` sits above this module in the layering.
+    """
+    if scenario is None:
+        return None
+    from repro.workloads.scenario import resolve_scenario
+    return resolve_scenario(scenario)
 
 
 def _run_point(stack: ServingStack, policy: str, spec: WorkloadSpec,
                qps: float, count: int, seed: int | None,
-               uniform: bool) -> ServingReport:
+               uniform: bool, scenario=None) -> ServingReport:
     """Simulate one offered-load point and summarise it."""
-    if uniform:
+    if scenario is not None:
+        queries = scenario_queries(
+            stack.compiled, scenario, qps, count,
+            seed=stack.seed if seed is None else seed, spec=spec)
+    elif uniform:
         queries = uniform_queries(stack.compiled, spec.models[0], qps,
                                   count)
     else:
@@ -50,8 +74,9 @@ def _run_point(stack: ServingStack, policy: str, spec: WorkloadSpec,
 
 
 def _sweep_worker(qps: float) -> ServingReport:
-    stack, policy, spec, count, seed, uniform = _SWEEP_STATE
-    return _run_point(stack, policy, spec, qps, count, seed, uniform)
+    stack, policy, spec, count, seed, uniform, scenario = _SWEEP_STATE
+    return _run_point(stack, policy, spec, qps, count, seed, uniform,
+                      scenario)
 
 
 @contextlib.contextmanager
@@ -87,7 +112,8 @@ def fork_worker_pool(workers: int):
 @contextlib.contextmanager
 def sweep_pool(stack: ServingStack, policy: str, spec: WorkloadSpec,
                count: int, seed: int | None = None,
-               uniform: bool = False, workers: int = 2):
+               uniform: bool = False, workers: int = 2,
+               scenario=None):
     """A persistent fork pool for *repeated* sweeps of one scenario.
 
     Workers survive across :func:`sweep_qps` calls, so their
@@ -101,7 +127,8 @@ def sweep_pool(stack: ServingStack, policy: str, spec: WorkloadSpec,
     without ``fork``) live in :func:`fork_worker_pool`.
     """
     global _SWEEP_STATE
-    _SWEEP_STATE = (stack, policy, spec, count, seed, uniform)
+    scenario = _resolve_scenario(scenario)
+    _SWEEP_STATE = (stack, policy, spec, count, seed, uniform, scenario)
     try:
         with fork_worker_pool(workers) as pool:
             if pool is not None:
@@ -117,7 +144,8 @@ def sweep_pool(stack: ServingStack, policy: str, spec: WorkloadSpec,
 def sweep_qps(stack: ServingStack, policy: str, spec: WorkloadSpec,
               qps_values: list[float], count: int,
               seed: int | None = None, workers: int | None = None,
-              uniform: bool = False, pool=None) -> list[ServingReport]:
+              uniform: bool = False, pool=None,
+              scenario=None) -> list[ServingReport]:
     """One report per offered load, optionally across worker processes.
 
     Every point is an independent simulation of ``count`` queries, so
@@ -131,17 +159,22 @@ def sweep_qps(stack: ServingStack, policy: str, spec: WorkloadSpec,
 
     With ``uniform=True`` the spec must be single-model and arrivals are
     the deterministic uniform stream of the granularity study (Fig. 3).
+    A ``scenario`` (spec or registered name) replaces the arrival shape
+    wholesale; it is mutually exclusive with ``uniform``.
     """
     qps_list = [float(qps) for qps in qps_values]
     if not qps_list:
         return []
+    scenario = _resolve_scenario(scenario)
+    if scenario is not None and uniform:
+        raise ValueError("pass either scenario or uniform, not both")
     if uniform and len(spec.models) != 1:
         raise ValueError("uniform sweeps require a single-model spec")
     if pool is not None:
         # Workers simulate the scenario baked in at fork time — reject
         # a mismatched call instead of returning plausible wrong data.
         baked = getattr(pool, "_repro_sweep_state", None)
-        if baked != (stack, policy, spec, count, seed, uniform):
+        if baked != (stack, policy, spec, count, seed, uniform, scenario):
             raise ValueError(
                 "pool was created for a different sweep scenario; build "
                 "it with sweep_pool(...) using these same arguments")
@@ -154,18 +187,20 @@ def sweep_qps(stack: ServingStack, policy: str, spec: WorkloadSpec,
             # stays broken.
             pass
         return [_run_point(stack, policy, spec, qps, count, seed,
-                           uniform) for qps in qps_list]
+                           uniform, scenario) for qps in qps_list]
     requested = 1 if workers is None else max(1, int(workers))
     requested = min(requested, len(qps_list))
     if requested > 1:
         with sweep_pool(stack, policy, spec, count, seed=seed,
-                        uniform=uniform, workers=requested) as ephemeral:
+                        uniform=uniform, workers=requested,
+                        scenario=scenario) as ephemeral:
             if ephemeral is not None:
                 try:
                     return ephemeral.map(_sweep_worker, qps_list)
                 except OSError:
                     pass  # worker/pipe died mid-run: recompute serially
-    return [_run_point(stack, policy, spec, qps, count, seed, uniform)
+    return [_run_point(stack, policy, spec, qps, count, seed, uniform,
+                       scenario)
             for qps in qps_list]
 
 
@@ -173,15 +208,20 @@ def reports_over_qps(stack: ServingStack, policy: str, model_name: str,
                      qps_values: list[float], count: int,
                      uniform: bool = True,
                      seed: int | None = None,
-                     workers: int | None = None) -> list[ServingReport]:
+                     workers: int | None = None,
+                     scenario=None) -> list[ServingReport]:
     """One report per offered load — the Fig. 3 / Fig. 5a protocol.
 
     The paper's granularity study streams a single model with identical
-    uniform arrivals; ``uniform=False`` switches to Poisson arrivals.
+    uniform arrivals; ``uniform=False`` switches to Poisson arrivals,
+    and a ``scenario`` swaps in any arrival shape (overriding
+    ``uniform``).
     """
     spec = WorkloadSpec(name=model_name, entries=((model_name, 1.0),))
     return sweep_qps(stack, policy, spec, list(qps_values), count,
-                     seed=seed, workers=workers, uniform=uniform)
+                     seed=seed, workers=workers,
+                     uniform=uniform and scenario is None,
+                     scenario=scenario)
 
 
 @dataclass(frozen=True)
@@ -199,21 +239,25 @@ def capacity(stack: ServingStack, policy: str, spec: WorkloadSpec,
              low_qps: float = 10.0, high_qps: float = 800.0,
              tolerance_qps: float = 15.0,
              seed: int | None = None,
-             workers: int | None = None) -> CapacityResult:
+             workers: int | None = None,
+             scenario=None) -> CapacityResult:
     """Max offered QPS with ``target`` QoS satisfaction (Fig. 12 metric).
 
     The bisection evaluates its probe loads through :func:`sweep_qps`;
     with ``workers > 1`` each search round batches ``workers`` loads
     across one persistent :func:`sweep_pool` (speculative multi-point
     bisection over warm workers), with the default it is the paper's
-    sequential protocol, probe for probe.
+    sequential protocol, probe for probe.  A ``scenario`` makes this
+    "capacity under that arrival shape": the bisection scales the
+    scenario's mean rate instead of a stationary Poisson rate.
     """
     batch = 1 if workers is None else max(1, int(workers))
+    scenario = _resolve_scenario(scenario)
 
     def search(pool) -> tuple[float, ServingReport]:
         def run_batch(qps_values: list[float]) -> list[ServingReport]:
             return sweep_qps(stack, policy, spec, qps_values, count,
-                             seed=seed, pool=pool)
+                             seed=seed, pool=pool, scenario=scenario)
 
         return max_qps_at_satisfaction(
             run_batch=run_batch, batch=batch, target=target,
@@ -224,7 +268,7 @@ def capacity(stack: ServingStack, policy: str, spec: WorkloadSpec,
         # sweep_pool fails soft to ``None`` (the serial path) on
         # spawn-only platforms, so no availability check is needed here.
         with sweep_pool(stack, policy, spec, count, seed=seed,
-                        workers=batch) as pool:
+                        workers=batch, scenario=scenario) as pool:
             qps, report = search(pool)
     else:
         qps, report = search(None)

@@ -45,7 +45,11 @@ from repro.scheduling.layerwise import (
 from repro.scheduling.prema import PremaScheduler
 from repro.scheduling.veltair import VeltairScheduler
 from repro.serving.metrics import ServingReport, summarize
-from repro.serving.workload import WorkloadSpec, poisson_queries
+from repro.serving.workload import (
+    WorkloadSpec,
+    poisson_queries,
+    scenario_queries,
+)
 
 POLICIES = ("model_fcfs", "layerwise", "prema", "block6", "block11",
             "veltair_as", "veltair_ac", "veltair_full")
@@ -212,10 +216,23 @@ class ServingStack:
         return completed, engine
 
     def report(self, policy: str, spec: WorkloadSpec, qps: float,
-               count: int, seed: int | None = None) -> ServingReport:
-        """Generate a Poisson stream, simulate it, and summarise."""
-        queries = poisson_queries(self.compiled, spec, qps, count,
-                                  seed=self.seed if seed is None else seed)
+               count: int, seed: int | None = None,
+               scenario=None) -> ServingReport:
+        """Generate a stream, simulate it, and summarise.
+
+        The default stream is the paper's stationary Poisson; a
+        ``scenario`` (:class:`repro.workloads.ScenarioSpec` or
+        registered name) swaps in any trace-driven arrival shape at
+        mean rate ``qps``.
+        """
+        effective_seed = self.seed if seed is None else seed
+        if scenario is not None:
+            queries = scenario_queries(self.compiled, scenario, qps,
+                                       count, seed=effective_seed,
+                                       spec=spec)
+        else:
+            queries = poisson_queries(self.compiled, spec, qps, count,
+                                      seed=effective_seed)
         completed, engine = self.run(policy, queries)
         return summarize(completed, engine.metrics, qps)
 

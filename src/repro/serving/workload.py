@@ -3,6 +3,12 @@
 Arrivals are Poisson with rate ``qps`` (paper Sec. 5.1); the mixed
 workload draws each model with frequency inversely proportional to its
 QoS target, as the paper does following datacenter trace analyses.
+
+Beyond the stationary Poisson default, :mod:`repro.workloads` provides
+trace-driven scenarios (bursty MMPP, diurnal ramps, flash crowds,
+tenant churn, trace replay); :func:`scenario_queries` is the bridge —
+the ``"poisson"`` scenario reproduces :func:`poisson_queries` bit for
+bit, so scenario-threaded experiments subsume the legacy path.
 """
 
 from __future__ import annotations
@@ -102,6 +108,23 @@ def poisson_queries(compiled: dict[str, CompiledModel], spec: WorkloadSpec,
             qos_s=get_entry(name).qos_s,
         ))
     return queries
+
+
+def scenario_queries(compiled: dict[str, CompiledModel],
+                     scenario, qps: float, count: int,
+                     seed: int | None = None,
+                     spec: WorkloadSpec | None = None) -> list[Query]:
+    """``count`` queries of a :class:`~repro.workloads.ScenarioSpec`.
+
+    ``scenario`` may be a spec or a registered scenario name; a
+    mix-agnostic scenario draws its models from ``spec``.  Equivalent to
+    ``scenario.queries(...)`` — provided here so the serving layer's
+    stream generators live side by side.  (Import is lazy:
+    ``repro.workloads`` sits above this module in the layering.)
+    """
+    from repro.workloads.scenario import resolve_scenario
+    return resolve_scenario(scenario).queries(compiled, qps, count,
+                                              seed=seed, spec=spec)
 
 
 def uniform_queries(compiled: dict[str, CompiledModel], model_name: str,

@@ -245,9 +245,10 @@ class TestVendorLibrary:
         graph = get_model("mobilenet_v2")
         tuned = compiler.compile_model(graph, 0.010)
         vendor_total = sum(
-            cost_model.latency(l, vendor_schedule(l), 64, 0.0)
-            for l in graph.layers)
+            cost_model.latency(layer, vendor_schedule(layer), 64, 0.0)
+            for layer in graph.layers)
         tuned_total = sum(
-            cost_model.latency(l, tuned.layers[i].static_version(), 64, 0.0)
-            for i, l in enumerate(graph.layers))
+            cost_model.latency(layer, tuned.layers[i].static_version(),
+                               64, 0.0)
+            for i, layer in enumerate(graph.layers))
         assert tuned_total < vendor_total

@@ -40,7 +40,7 @@ class TestModelGraph:
 
     def test_flops_sum(self):
         g = _tiny_chain()
-        assert g.flops == sum(l.flops for l in g.layers)
+        assert g.flops == sum(layer.flops for layer in g.layers)
 
     def test_op_fractions_sum_to_one(self):
         g = _tiny_chain()
@@ -92,7 +92,8 @@ class TestZooStats:
 
     def test_resnet50_conv_census(self):
         graph = get_model("resnet50")
-        convs = [l for l in graph.layers if l.kind == "Conv2D"]
+        convs = [layer for layer in graph.layers
+                 if layer.kind == "Conv2D"]
         assert len(convs) == 53  # paper Sec. 3.2: 53 conv layers
 
     def test_resnet50_flops_near_8_2_gflops(self):

@@ -6,7 +6,7 @@ from hypothesis import strategies as st
 
 from repro.runtime.allocator import AllocationError, CoreAllocator
 from repro.runtime.engine import Engine
-from repro.runtime.tasks import Query, block_duration
+from repro.runtime.tasks import block_duration
 from repro.serving.workload import uniform_queries
 
 
@@ -90,7 +90,6 @@ class _WholeModelScheduler:
 class TestBlockDuration:
     def test_rejects_bad_range(self, resnet_stack):
         queries = uniform_queries(resnet_stack.compiled, "resnet50", 10, 1)
-        profile = resnet_stack.profiles["resnet50"]
         with pytest.raises(ValueError):
             block_duration(resnet_stack.cost_model, queries[0], 5, 5,
                            (), 8, 0.0)

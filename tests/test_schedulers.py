@@ -111,7 +111,6 @@ class TestDynamicBlocks:
         queries = uniform_queries(resnet_stack.compiled, "resnet50", 10, 1)
         engine = Engine(resnet_stack.cost_model)
         plan = scheduler.plan(engine, queries[0])
-        profile = resnet_stack.profiles["resnet50"]
         assert plan.desired_cores <= resnet_stack.cpu.cores
         assert plan.desired_cores >= 1
 
