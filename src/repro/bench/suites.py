@@ -201,6 +201,95 @@ def _run_trace_roundtrip(ctx: BenchContext) -> list[BenchResult]:
         tables={title: "\n".join(lines)}, seed=seed)]
 
 
+def _run_compile_cache(ctx: BenchContext) -> list[BenchResult]:
+    """Cold-vs-warm artifact-store compile: speedup + bit-identity.
+
+    Builds the *default-zoo* stack twice against one on-disk store —
+    first cold (store empty, every layer compiles), then warm (every
+    layer loads) — and A/B-verifies that the cached artifacts are
+    bit-identical: version tables, latency tables, level maps, and a
+    full ``veltair_full`` serving report must all match exactly.  The
+    acceptance floor is a 5x warm speedup on the zoo build.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro.compiler.artifacts import ArtifactStore
+    from repro.serving.metrics import summarize
+    from repro.serving.server import ServingStack
+    from repro.serving.workload import poisson_queries
+
+    spec = _quick_spec()
+    qps = 150.0
+    seed = ctx.seed + 23  # offset: independent of the other suites
+
+    def build(store: ArtifactStore) -> tuple[ServingStack, float]:
+        stack = ServingStack(trials=ctx.trials, seed=11,
+                             use_proxy=False, artifact_store=store)
+        start = time.perf_counter()
+        stack.ensure_compiled()
+        return stack, time.perf_counter() - start
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "store"
+        cold_stack, cold_s = build(ArtifactStore(path))
+        warm_stack, warm_s = build(ArtifactStore(path))
+
+    tables_identical = all(
+        a.versions == b.versions
+        and a.latency_table == b.latency_table
+        and a.version_for_level == b.version_for_level
+        and a.levels == b.levels
+        and a.qos_budget_s == b.qos_budget_s
+        for name in cold_stack.model_names
+        for a, b in zip(cold_stack.compiled[name].layers,
+                        warm_stack.compiled[name].layers))
+
+    def report(stack: ServingStack):
+        queries = poisson_queries(stack.compiled, spec, qps,
+                                  ctx.queries, seed=seed)
+        completed, engine = stack.run("veltair_full", queries)
+        return summarize(completed, engine.metrics, qps)
+
+    cold_report, warm_report = report(cold_stack), report(warm_stack)
+    report_delta = max(
+        abs(getattr(cold_report, f.name) - getattr(warm_report, f.name))
+        for f in dataclasses.fields(cold_report)
+        if isinstance(getattr(cold_report, f.name), (int, float)))
+
+    cold, warm = cold_stack.compiler.stats, warm_stack.compiler.stats
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    metrics = {
+        "warm_speedup": speedup,
+        "warm_speedup_at_least_5x": 1.0 if speedup >= 5.0 else 0.0,
+        "version_tables_identical": 1.0 if tables_identical else 0.0,
+        "report_max_abs_delta": report_delta,
+        "unique_layers": float(cold_stack.compiler.unique_layers),
+        "cold_fresh_compiles": float(cold.compiled_fresh),
+        "cold_dedup_shared": float(cold.memo_hits),
+        "warm_store_hits": float(warm.store_hits),
+        "warm_fresh_compiles": float(warm.compiled_fresh),
+    }
+    title = "Compile cache: cold vs warm artifact-store stack build"
+    lines = [
+        f"models: full zoo ({len(cold_stack.model_names)} models, "
+        f"trials={ctx.trials})",
+        f"cold build {cold_s * 1e3:8.1f}ms  ({cold.compiled_fresh} "
+        f"compiled, {cold.memo_hits} deduped of {cold.layers_total} "
+        "layers)",
+        f"warm build {warm_s * 1e3:8.1f}ms  ({warm.store_hits} store "
+        f"hits, {warm.compiled_fresh} compiled)",
+        f"speedup {speedup:8.1f}x  (acceptance floor: 5x)",
+        f"version tables identical: {tables_identical}",
+        f"serving report max |cold - warm| = {report_delta:.2e}",
+    ]
+    return [BenchResult(
+        name="compile_cache", title=title, metrics=metrics,
+        knobs=ctx.knobs(models=list(cold_stack.model_names), qps=qps),
+        info={"cold_build_s": cold_s, "warm_build_s": warm_s},
+        tables={title: "\n".join(lines)}, seed=seed)]
+
+
 _SCENARIO_CAPACITY_TOL = {"poisson_equivalence_max_abs": _EXACT}
 _TRACE_TOL = {"single_node_max_abs_delta": _EXACT,
               "cluster_max_abs_delta": _EXACT,
@@ -223,6 +312,27 @@ register_benchmark(Benchmark(
                 "single-node and fleet",
     runner=_run_trace_roundtrip, tolerances=_TRACE_TOL,
     default_tolerance=_RATE))
+register_benchmark(Benchmark(
+    name="compile_cache", kind="native", quick=True,
+    description="cold-vs-warm artifact-store stack build: speedup + "
+                "bit-identity A/B",
+    runner=_run_compile_cache,
+    tolerances={
+        # Identity and dedup counts are deterministic: gate exactly.
+        "warm_speedup_at_least_5x": _EXACT,
+        "version_tables_identical": _EXACT,
+        "report_max_abs_delta": _EXACT,
+        "unique_layers": _EXACT,
+        "cold_fresh_compiles": _EXACT,
+        "cold_dedup_shared": _EXACT,
+        "warm_store_hits": _EXACT,
+        "warm_fresh_compiles": _EXACT,
+        # Wall-clock ratio: recorded for the CI artifact, effectively
+        # ungated (machine-dependent); the 5x floor above is the gate.
+        "warm_speedup": Tolerance(rel=0.0, abs=1e12,
+                                  direction="higher_is_better"),
+    },
+    default_tolerance=_EXACT))
 
 # ---------------------------------------------------------------------------
 # Standalone scale gauges (scripts with their own acceptance checks)

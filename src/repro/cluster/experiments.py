@@ -63,9 +63,13 @@ def cluster_sweep_pool(stack: ServingStack, cluster_spec: ClusterSpec,
     """
     global _CLUSTER_STATE
     scenario = resolve_scenario(scenario)
-    # Warm the per-CPU runtimes before forking so children inherit the
-    # memoised cost models / profiles / proxies by copy-on-write instead
-    # of each re-fitting them for every foreign node width.
+    # Warm the lazily built artifacts and per-CPU runtimes before
+    # forking so children inherit the compiled models, scheduling
+    # profiles, cost models, and proxies by copy-on-write instead of
+    # each rebuilding them privately.
+    stack.ensure_compiled()
+    for name in stack.model_names:
+        stack.profiles[name]
     for cpu in cluster_spec.cpu_specs:
         stack.runtime_for(cpu)
     _CLUSTER_STATE = (stack, cluster_spec, router, admission, spec,

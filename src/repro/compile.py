@@ -1,0 +1,170 @@
+"""Compiled-artifact store CLI: warm, inspect, and prune the store.
+
+Usage::
+
+    python -m repro.compile warm                 # compile the zoo into the store
+    python -m repro.compile warm --models mobilenet_v2,googlenet --trials 96
+    python -m repro.compile list                 # store contents summary
+    python -m repro.compile gc                   # drop corrupt/stale entries
+    python -m repro.compile gc --all             # clear the store
+    python -m repro.compile path                 # resolved store directory
+
+The store directory comes from ``--store`` or the
+``REPRO_ARTIFACT_STORE`` environment variable (default
+``.repro-artifacts``).  Warming is exactly the compile a
+:class:`~repro.serving.server.ServingStack` would do — same knobs, same
+keys — so a subsequent stack construction with matching knobs hits the
+store for every layer.  Cached artifacts are bit-identical to fresh
+compiles; the store only ever changes wall-clock.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+from repro.compiler.artifacts import STORE_ENV, ArtifactStore
+
+#: Fallback store directory when neither --store nor the env var names one.
+DEFAULT_STORE_DIR = ".repro-artifacts"
+
+
+def _resolve_path(argument: str | None) -> str:
+    if argument:
+        return argument
+    env = os.environ.get(STORE_ENV, "").strip()
+    return env or DEFAULT_STORE_DIR
+
+
+def _cmd_warm(args: argparse.Namespace) -> int:
+    from repro.models.registry import model_names
+    from repro.serving.server import ServingStack
+
+    store = ArtifactStore(_resolve_path(getattr(args, "store", None)))
+    models = ([part.strip() for part in args.models.split(",")
+               if part.strip()] if args.models else model_names())
+    stack = ServingStack(models=models, trials=args.trials,
+                         seed=args.seed, use_proxy=False,
+                         artifact_store=store,
+                         compile_workers=args.workers)
+    start = time.perf_counter()
+    stack.ensure_compiled()
+    wall = time.perf_counter() - start
+    stats = stack.compiler.stats
+    print(f"warmed {store.path} in {wall:.2f}s "
+          f"({args.workers} worker(s), trials={args.trials}, "
+          f"seed={args.seed})")
+    print(f"  models:          {', '.join(models)}")
+    print(f"  layers seen:     {stats.layers_total}")
+    print(f"  unique layers:   {stack.compiler.unique_layers}")
+    print(f"  store hits:      {stats.store_hits}")
+    print(f"  fresh compiles:  {stats.compiled_fresh}")
+    print(f"  dedup savings:   {stats.memo_hits} layer(s) shared "
+          "in-process")
+    print(f"  store entries:   {len(store.entries())}")
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    store = ArtifactStore(_resolve_path(getattr(args, "store", None)))
+    rows = store.entries()
+    if not rows:
+        print(f"store {store.path}: empty")
+        return 0
+    valid = [row for row in rows if row.get("valid")]
+    invalid = len(rows) - len(valid)
+    total_bytes = sum(row["bytes"] for row in rows)
+    contexts = sorted({row.get("context") for row in valid
+                       if row.get("context")})
+    print(f"store {store.path}: {len(rows)} entr(ies), "
+          f"{total_bytes / 1024:.1f} KiB, {invalid} invalid, "
+          f"{len(contexts)} compiler context(s)")
+    if args.verbose:
+        for row in sorted(rows, key=lambda r: r["file"]):
+            mark = "ok " if row.get("valid") else "BAD"
+            budget = row.get("qos_budget_s")
+            budget_ms = (f"{budget * 1e3:8.3f}ms"
+                         if isinstance(budget, (int, float)) else
+                         f"{'?':>10s}")
+            print(f"  {mark} {row['file']:30s} {row['bytes']:7d}B "
+                  f"{row.get('versions', '?'):>2} version(s) "
+                  f"{budget_ms} {row.get('signature', '')}")
+    return 0
+
+
+def _cmd_gc(args: argparse.Namespace) -> int:
+    store = ArtifactStore(_resolve_path(getattr(args, "store", None)))
+    deleted = store.gc(drop_all=args.all)
+    kept = len(store.entries())
+    what = "all entries" if args.all else "invalid entries"
+    print(f"gc ({what}) on {store.path}: deleted {len(deleted)}, "
+          f"kept {kept}")
+    for name in deleted:
+        print(f"  - {name}")
+    return 0
+
+
+def _cmd_path(args: argparse.Namespace) -> int:
+    print(_resolve_path(getattr(args, "store", None)))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    # --store is accepted both before and after the subcommand (the
+    # subparsers inherit it via ``parents``); the subcommand position
+    # wins when both are given.  SUPPRESS keeps the subparser's default
+    # from clobbering a value parsed at the top level.
+    shared = argparse.ArgumentParser(add_help=False)
+    shared.add_argument("--store", default=argparse.SUPPRESS,
+                        help="store directory (default: "
+                             f"${STORE_ENV} or {DEFAULT_STORE_DIR})")
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.compile",
+        description=__doc__.splitlines()[0], parents=[shared])
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    warm = commands.add_parser(
+        "warm", help="compile models into the store", parents=[shared])
+    warm.add_argument("--models", default=None,
+                      help="comma-separated model names (default: the "
+                           "whole zoo)")
+    warm.add_argument("--trials", type=int, default=256,
+                      help="auto-scheduler trial budget per layer "
+                           "(default: 256, the ServingStack default)")
+    warm.add_argument("--seed", type=int, default=None,
+                      help="compile seed (default: the library default)")
+    warm.add_argument("--workers", type=int,
+                      default=int(os.environ.get("REPRO_COMPILE_WORKERS",
+                                                 "1")),
+                      help="fork-pool width for layer compilation")
+    warm.set_defaults(func=_cmd_warm)
+
+    listing = commands.add_parser(
+        "list", help="summarise store contents", parents=[shared])
+    listing.add_argument("--verbose", "-v", action="store_true",
+                         help="one line per entry")
+    listing.set_defaults(func=_cmd_list)
+
+    gc = commands.add_parser(
+        "gc", help="delete corrupt or schema-stale entries",
+        parents=[shared])
+    gc.add_argument("--all", action="store_true",
+                    help="delete every entry (clear the store)")
+    gc.set_defaults(func=_cmd_gc)
+
+    path = commands.add_parser(
+        "path", help="print the resolved store directory",
+        parents=[shared])
+    path.set_defaults(func=_cmd_path)
+
+    args = parser.parse_args(argv)
+    if args.command == "warm" and args.seed is None:
+        from repro.config import DEFAULT_SEED
+        args.seed = DEFAULT_SEED
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

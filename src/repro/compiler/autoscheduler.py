@@ -78,6 +78,10 @@ class AutoScheduler:
         self.cost_model = cost_model
         self.population = population
         self.elite_fraction = elite_fraction
+        #: Survivor-pool size after each evolution round of the last
+        #: search — instrumentation for the pool-size invariant
+        #: (``max(...) <= population``); reset per :meth:`search`.
+        self.last_pool_sizes: list[int] = []
 
     def search(self, layer: LayerSpec, interference: float = 0.0,
                cores: int | None = None, trials: int = 512,
@@ -92,6 +96,7 @@ class AutoScheduler:
         cores = cores if cores is not None else self.cost_model.cpu.cores
         rng = make_rng(seed)
         space = ScheduleSpace.for_layer(layer)
+        self.last_pool_sizes = []
 
         evaluated: dict[Schedule, float] = {}
 
@@ -141,7 +146,18 @@ class AutoScheduler:
                         break
                     measure(schedule)
                     children.append(schedule)
+            # Re-cap the survivor pool: the immigrants above land on top
+            # of an already population-sized fill, which used to ratchet
+            # the pool above ``self.population`` every round.  Keeping
+            # the best ``population`` members preserves the parent set
+            # (the best ``elites`` of any superset containing the best
+            # ``population`` are the same), so search results are
+            # unchanged — only the invariant is restored.
+            if len(children) > self.population:
+                children.sort(key=measure)
+                del children[self.population:]
             pool = children
+            self.last_pool_sizes.append(len(pool))
 
         samples = tuple(Measured(schedule=s, latency_s=lat)
                         for s, lat in evaluated.items())

@@ -1,0 +1,51 @@
+"""The shared ``fork`` worker-pool primitive.
+
+Both the QPS sweeps (:mod:`repro.serving.experiments`) and the parallel
+layer compilation (:mod:`repro.compiler.artifacts`) fan work out over
+``fork``-ed processes whose scenario travels by copy-on-write through
+module globals — never pickled.  This module owns the pool lifecycle
+and the fail-soft contract so the two layers (which must not import
+each other) share one implementation.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import multiprocessing
+
+
+@contextlib.contextmanager
+def fork_worker_pool(workers: int):
+    """A ``fork``-pinned process pool, or ``None`` when unavailable.
+
+    Workers inherit their scenario (compiled stacks, compiler state)
+    through module globals by copy-on-write, which only the ``fork``
+    start method provides — ``spawn``/``forkserver`` would have to
+    pickle that state.  On platforms without ``fork`` (Windows; macOS
+    configured spawn-only) — or when process creation itself fails —
+    this yields ``None`` instead of raising, and every caller treats a
+    ``None`` pool as the serial in-process path.  Results are identical
+    either way; only wall-clock differs.  Callers must set their
+    worker-state global *before* entering (fork captures it).
+    """
+    if "fork" not in multiprocessing.get_all_start_methods():
+        yield None  # spawn-only platform: documented serial fallback
+        return
+    if multiprocessing.current_process().daemon:
+        # Pool workers are daemonic and may not have children of their
+        # own (Pool() raises AssertionError, not OSError) — e.g. a
+        # sweep worker lazily compiling with REPRO_COMPILE_WORKERS > 1.
+        # Nested fan-out degrades to the serial path instead.
+        yield None
+        return
+    context = multiprocessing.get_context("fork")
+    try:
+        pool = context.Pool(processes=max(1, int(workers)))
+    except OSError:
+        yield None  # fork/pipe failure: fail soft to the serial path
+        return
+    try:
+        yield pool
+    finally:
+        pool.terminate()
+        pool.join()

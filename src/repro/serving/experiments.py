@@ -19,9 +19,9 @@ load.  ``None`` keeps the legacy stationary-Poisson path, which the
 from __future__ import annotations
 
 import contextlib
-import multiprocessing
 from dataclasses import dataclass
 
+from repro.parallel import fork_worker_pool
 from repro.serving.metrics import (
     ServingReport,
     max_qps_at_satisfaction,
@@ -80,36 +80,6 @@ def _sweep_worker(qps: float) -> ServingReport:
 
 
 @contextlib.contextmanager
-def fork_worker_pool(workers: int):
-    """A ``fork``-pinned process pool, or ``None`` when unavailable.
-
-    Sweep workers inherit their scenario (including the compiled stack)
-    through module globals by copy-on-write, which only the ``fork``
-    start method provides — ``spawn``/``forkserver`` would have to
-    pickle the stack.  On platforms without ``fork`` (Windows; macOS
-    configured spawn-only) — or when process creation itself fails —
-    this yields ``None`` instead of raising, and both sweep layers
-    treat a ``None`` pool as the serial in-process path.  Results are
-    identical either way; only wall-clock differs.  Callers must set
-    their worker-state global *before* entering (fork captures it).
-    """
-    if "fork" not in multiprocessing.get_all_start_methods():
-        yield None  # spawn-only platform: documented serial fallback
-        return
-    context = multiprocessing.get_context("fork")
-    try:
-        pool = context.Pool(processes=max(1, int(workers)))
-    except OSError:
-        yield None  # fork/pipe failure: fail soft to the serial path
-        return
-    try:
-        yield pool
-    finally:
-        pool.terminate()
-        pool.join()
-
-
-@contextlib.contextmanager
 def sweep_pool(stack: ServingStack, policy: str, spec: WorkloadSpec,
                count: int, seed: int | None = None,
                uniform: bool = False, workers: int = 2,
@@ -128,6 +98,16 @@ def sweep_pool(stack: ServingStack, policy: str, spec: WorkloadSpec,
     """
     global _SWEEP_STATE
     scenario = _resolve_scenario(scenario)
+    # Force the lazily built artifacts *before* forking: workers share
+    # compiled models, scheduling profiles, and the fitted proxy by
+    # copy-on-write only if they exist at fork time — otherwise every
+    # worker would redo the whole compile pass (and proxy fit)
+    # privately.  Only the proxy-driven policies pay the proxy fit.
+    stack.ensure_compiled()
+    for name in stack.model_names:
+        stack.profiles[name]
+    if policy in ("veltair_ac", "veltair_full"):
+        stack.proxy
     _SWEEP_STATE = (stack, policy, spec, count, seed, uniform, scenario)
     try:
         with fork_worker_pool(workers) as pool:

@@ -48,10 +48,16 @@ def summarize(completed: list[Query], metrics: SimulationMetrics,
               offered_qps: float) -> ServingReport:
     """Aggregate a finished simulation into a report."""
     if not completed:
+        # Blocks may well have started (and conflicted) even when no
+        # query finished inside the horizon — exactly the saturated
+        # loads a capacity bisection probes — so the conflict rate must
+        # come from block accounting, not default to zero.
+        blocks = max(1, metrics.blocks_started)
         return ServingReport(
             offered_qps=offered_qps, completed=0, satisfaction_rate=0.0,
             average_latency_s=float("inf"), p99_latency_s=float("inf"),
-            conflict_rate=0.0, grows=metrics.grows,
+            conflict_rate=metrics.conflicts / blocks,
+            grows=metrics.grows,
             average_cores_used=metrics.average_cores_used,
             max_cores_used=metrics.max_cores_used,
             blocks_started=metrics.blocks_started)

@@ -18,10 +18,14 @@ simulations stay independent.  Policies are addressed by name:
 
 from __future__ import annotations
 
+import os
+from collections.abc import Mapping
 from dataclasses import dataclass
+from pathlib import Path
 
 from repro.config import DEFAULT_SEED
 from repro.hardware.platform import THREADRIPPER_3990X, CpuSpec
+from repro.compiler.artifacts import ArtifactStore, resolve_store
 from repro.compiler.costmodel import CostModel, CostModelParams
 from repro.compiler.library import CompiledModel, ModelCompiler
 from repro.compiler.multiversion import SinglePassCompiler
@@ -77,6 +81,46 @@ class NodeRuntime:
     proxy: LinearInterferenceProxy | None
 
 
+class _LazyArtifacts(Mapping):
+    """Name-keyed model artifacts, built on first access.
+
+    Looks and iterates like the plain dict it replaced (model order
+    preserved), but a lookup compiles/profiles only that model, so
+    ``models=`` subsets and cluster fleets never pay for the whole zoo.
+    ``values()``/``items()`` force the remaining models through one
+    deduplicated batch compile instead of one pass per model.
+    """
+
+    def __init__(self, stack: "ServingStack", build) -> None:
+        self._stack = stack
+        self._build = build
+
+    def __getitem__(self, name: str):
+        if name not in self._stack._model_set:
+            raise KeyError(name)
+        return self._build(name)
+
+    def __contains__(self, name) -> bool:
+        # Mapping's default falls through to __getitem__, which would
+        # compile a whole model as a side effect of a membership probe.
+        return name in self._stack._model_set
+
+    def __iter__(self):
+        return iter(self._stack.model_names)
+
+    def __len__(self) -> int:
+        return len(self._stack.model_names)
+
+    def values(self):
+        self._stack.ensure_compiled()
+        return [self._build(name) for name in self._stack.model_names]
+
+    def items(self):
+        self._stack.ensure_compiled()
+        return [(name, self._build(name))
+                for name in self._stack.model_names]
+
+
 class ServingStack:
     """Offline artifacts + per-run engine construction."""
 
@@ -87,7 +131,9 @@ class ServingStack:
                  use_proxy: bool = True,
                  proxy_scenarios: int = 240,
                  seed: int = DEFAULT_SEED,
-                 price_cache_entries: int = 1 << 18) -> None:
+                 price_cache_entries: int = 1 << 18,
+                 artifact_store: ArtifactStore | str | Path | None = "auto",
+                 compile_workers: int | None = None) -> None:
         self.cpu = cpu or THREADRIPPER_3990X
         self.cost_model = CostModel(self.cpu, params)
         #: Block pricing memo shared by every engine this stack builds:
@@ -95,32 +141,94 @@ class ServingStack:
         #: warm cache eliminates most cost-model pricing calls.  Size is
         #: bounded by ``price_cache_entries`` (batched FIFO eviction).
         self.price_cache = PricingCache(max_entries=price_cache_entries)
+        if compile_workers is None:
+            compile_workers = int(os.environ.get("REPRO_COMPILE_WORKERS",
+                                                 "1"))
+        #: ``artifact_store`` threads the persistent compiled-artifact
+        #: store through: ``"auto"`` (default) consults the
+        #: REPRO_ARTIFACT_STORE environment variable, ``None`` disables
+        #: persistence, a path or :class:`ArtifactStore` uses it
+        #: directly.  Cached artifacts are bit-identical to fresh
+        #: compiles, so a warm store changes wall-clock only.
         self.compiler = ModelCompiler(
             self.cost_model,
-            SinglePassCompiler(self.cost_model, trials=trials, seed=seed))
+            SinglePassCompiler(self.cost_model, trials=trials, seed=seed),
+            store=resolve_store(artifact_store),
+            workers=compile_workers)
         self.seed = seed
 
-        names = models if models is not None else model_names()
-        self.compiled: dict[str, CompiledModel] = {}
-        self.profiles: dict[str, ModelProfile] = {}
+        names = list(models) if models is not None else model_names()
         for name in names:
-            compiled = self.compiler.compile_model(get_model(name),
-                                                   get_entry(name).qos_s)
-            self.compiled[name] = compiled
-            self.profiles[name] = build_profile(self.cost_model, compiled)
+            get_entry(name)  # unknown models must fail at construction
+        #: Model order of the stack (iteration order of ``compiled``).
+        self.model_names = names
+        self._model_set = frozenset(names)
+        self._compiled: dict[str, CompiledModel] = {}
+        self._profiles: dict[str, ModelProfile] = {}
+        #: Lazily compiled per-model artifacts: a lookup compiles just
+        #: that model (deduplicated against everything compiled so
+        #: far); iteration forces the full set in one batch.
+        self.compiled = _LazyArtifacts(self, self._model)
+        self.profiles = _LazyArtifacts(self, self._profile)
         #: Compile passes this stack has performed.  Stays at 1 for the
-        #: stack's whole life: per-node runtimes re-profile but never
-        #: re-compile (the cluster benchmark asserts exactly this).
+        #: stack's whole life: models compile lazily *within* the one
+        #: pass, and per-node runtimes re-profile but never re-compile
+        #: (the cluster benchmark asserts exactly this).
         self.artifact_builds = 1
 
-        self.proxy: LinearInterferenceProxy | None = None
+        self._proxy: LinearInterferenceProxy | None = None
+        self._proxy_ready = not use_proxy
         self._proxy_scenarios = proxy_scenarios
         self._use_proxy = use_proxy
-        if use_proxy:
-            self.proxy = self._fit_proxy(self.cost_model)
 
         #: Per-CpuSpec runtimes derived from the one compile pass above.
         self._runtimes: dict[CpuSpec, NodeRuntime] = {}
+
+    # ------------------------------------------------------------------
+    # lazy artifact construction
+
+    def ensure_compiled(self, names: list[str] | None = None) -> None:
+        """Force compilation of ``names`` (default: every model).
+
+        One deduplicated batch through the compiler — with a warm
+        artifact store nothing recompiles, with ``compile_workers > 1``
+        missing layers fan out over the fork pool.  Idempotent.
+        """
+        pending = [name for name in (names if names is not None
+                                     else self.model_names)
+                   if name not in self._compiled]
+        if not pending:
+            return
+        specs = [(get_model(name), get_entry(name).qos_s)
+                 for name in pending]
+        for name, compiled in zip(pending,
+                                  self.compiler.compile_models(specs)):
+            self._compiled[name] = compiled
+
+    def _model(self, name: str) -> CompiledModel:
+        if name not in self._compiled:
+            self.ensure_compiled([name])
+        return self._compiled[name]
+
+    def _profile(self, name: str) -> ModelProfile:
+        profile = self._profiles.get(name)
+        if profile is None:
+            profile = build_profile(self.cost_model, self._model(name))
+            self._profiles[name] = profile
+        return profile
+
+    @property
+    def artifact_store(self) -> ArtifactStore | None:
+        """The persistent store the compiler reads/writes, if any."""
+        return self.compiler.store
+
+    @property
+    def proxy(self) -> LinearInterferenceProxy | None:
+        """The fitted interference proxy (fitted on first access)."""
+        if not self._proxy_ready:
+            self._proxy = self._fit_proxy(self.cost_model)
+            self._proxy_ready = True
+        return self._proxy
 
     def _fit_proxy(self, cost_model: CostModel) -> LinearInterferenceProxy:
         """Fit the counter proxy against one machine's cost model.
@@ -180,7 +288,6 @@ class ServingStack:
         """
         cost_model = runtime.cost_model if runtime else self.cost_model
         profiles = runtime.profiles if runtime else self.profiles
-        proxy = runtime.proxy if runtime else self.proxy
         if policy == "model_fcfs":
             return ModelWiseFcfs(cost_model, profiles)
         if policy == "layerwise":
@@ -193,12 +300,16 @@ class ServingStack:
                                        block_size=size)
         if policy == "veltair_as":
             return DynamicBlockScheduler(cost_model, profiles)
+        # Only the proxy-driven policies read the proxy — referencing
+        # ``self.proxy`` here would trigger the lazy fit for everyone.
         if policy == "veltair_ac":
-            return AdaptiveCompilationOnly(cost_model, profiles,
-                                           proxy=proxy)
+            return AdaptiveCompilationOnly(
+                cost_model, profiles,
+                proxy=runtime.proxy if runtime else self.proxy)
         if policy == "veltair_full":
-            return VeltairScheduler(cost_model, profiles,
-                                    proxy=proxy)
+            return VeltairScheduler(
+                cost_model, profiles,
+                proxy=runtime.proxy if runtime else self.proxy)
         raise ValueError(f"unknown policy {policy!r}; known: {POLICIES}")
 
     def run(self, policy: str, queries: list[Query],

@@ -64,6 +64,78 @@ class TestAutoScheduler:
                               seed=1)
         assert iso.best_schedule != hot.best_schedule
 
+    def test_survivor_pool_never_exceeds_population(self, cost_model,
+                                                    conv_layer):
+        # Regression: immigrants used to append past the
+        # population-bounded fill, ratcheting the survivor pool above
+        # ``population`` every evolution round.
+        searcher = AutoScheduler(cost_model, population=16)
+        result = searcher.search(conv_layer, trials=256, seed=5)
+        assert result.trials <= 256
+        assert searcher.last_pool_sizes  # evolution rounds happened
+        assert max(searcher.last_pool_sizes) <= searcher.population
+
+    def test_pool_cap_preserves_search_results(self, cost_model,
+                                               conv_layer):
+        # The cap keeps the best ``population`` members, whose top
+        # ``elites`` are the parents either way — so capping must not
+        # change what the search evaluates or returns.  Compared
+        # against a faithful replica of the pre-fix (uncapped) loop.
+        from repro.compiler.space import ScheduleSpace
+
+        def uncapped_reference(searcher, layer, trials, seed):
+            # The pre-fix search loop, verbatim minus the re-cap.
+            rng = make_rng(seed)
+            space = ScheduleSpace.for_layer(layer)
+            evaluated = {}
+
+            def measure(schedule):
+                cached = evaluated.get(schedule)
+                if cached is None:
+                    cached = cost_model.latency(
+                        layer, schedule, cost_model.cpu.cores, 0.0)
+                    evaluated[schedule] = cached
+                return cached
+
+            for schedule in space.sample_many(trials // 2, rng):
+                measure(schedule)
+            pool = space.sample_many(searcher.population, rng)
+            for schedule in pool:
+                measure(schedule)
+            elites = max(2, int(searcher.population
+                                * searcher.elite_fraction))
+            previous_count = -1
+            while (len(evaluated) < trials
+                   and len(evaluated) > previous_count):
+                previous_count = len(evaluated)
+                pool.sort(key=measure)
+                parents = pool[:elites]
+                children = list(parents)
+                while (len(children) < searcher.population
+                       and len(evaluated) + len(children) - elites
+                       < trials):
+                    parent = parents[int(rng.integers(0, len(parents)))]
+                    children.append(space.neighbours(parent, rng))
+                if len(children) <= elites:
+                    break
+                for child in children[elites:]:
+                    measure(child)
+                if len(evaluated) < trials:
+                    for schedule in space.sample_many(
+                            max(2, searcher.population // 8), rng):
+                        if len(evaluated) >= trials:
+                            break
+                        measure(schedule)
+                        children.append(schedule)
+                pool = children  # pre-fix: no re-cap, pool ratchets
+            return evaluated
+
+        searcher = AutoScheduler(cost_model, population=16)
+        capped = searcher.search(conv_layer, trials=200, seed=9)
+        reference = uncapped_reference(searcher, conv_layer, 200, 9)
+        assert dict((m.schedule, m.latency_s)
+                    for m in capped.samples) == reference
+
 
 class TestMultiPass:
     def test_levels_span_unit_interval(self):
@@ -194,6 +266,31 @@ class TestSinglePassCompiler:
         compiler = SinglePassCompiler(cost_model, trials=128, seed=4)
         compiled = compiler.compile_layer(conv_layer, qos_budget_s=1e-9)
         assert compiled.version_count >= 1
+
+    def test_level_index_bisect_matches_nearest_scan(self, compiled):
+        # The bisect over precomputed thresholds replaced an O(levels)
+        # scan on the pricing-miss hot path; selection must be
+        # bit-identical across a dense pressure grid, exact midpoints,
+        # and their ulp neighbours (where float tie-breaks live).
+        import math
+
+        def nearest_scan(levels, pressure):
+            return min(range(len(levels)),
+                       key=lambda i: abs(levels[i] - pressure))
+
+        probes = [k / 1000.0 for k in range(-50, 1051)]
+        for i in range(len(compiled.levels) - 1):
+            mid = (compiled.levels[i] + compiled.levels[i + 1]) / 2.0
+            probes += [math.nextafter(mid, -1.0), mid,
+                       math.nextafter(mid, 2.0)]
+        for pressure in probes:
+            assert (compiled.level_index(pressure)
+                    == nearest_scan(compiled.levels, pressure)), pressure
+        # Version selection rides on the index: spot-check the mapping.
+        for pressure in (0.0, 0.33, 0.5, 1.0):
+            level = nearest_scan(compiled.levels, pressure)
+            assert (compiled.version_index_for(pressure)
+                    == compiled.version_for_level[level])
 
 
 class TestModelCompiler:

@@ -79,6 +79,28 @@ class TestSummarize:
         report = summarize([], SimulationMetrics(), offered_qps=100)
         assert report.satisfaction_rate == 0.0
         assert report.average_latency_s == float("inf")
+        assert report.conflict_rate == 0.0
+
+    def test_empty_run_reports_conflicts_from_blocks(self):
+        # Saturated loads probed by the capacity bisection can start
+        # (and conflict) many blocks while completing zero queries; the
+        # conflict rate must come from block accounting, not be zeroed.
+        metrics = SimulationMetrics(conflicts=6, blocks_started=24)
+        report = summarize([], metrics, offered_qps=900)
+        assert report.completed == 0
+        assert report.conflict_rate == pytest.approx(6 / 24)
+        assert report.blocks_started == 24
+
+    def test_empty_run_conflict_rate_matches_normal_path(self, resnet_stack):
+        queries = uniform_queries(resnet_stack.compiled, "resnet50", 20, 4)
+        for query in queries:
+            query.started_s = query.arrival_s
+            query.finished_s = query.arrival_s + 0.010
+        metrics = SimulationMetrics(conflicts=3, blocks_started=12)
+        with_completed = summarize(queries, metrics, offered_qps=20)
+        without_completed = summarize([], metrics, offered_qps=20)
+        assert (without_completed.conflict_rate
+                == with_completed.conflict_rate)
 
     def test_counts_satisfied(self, resnet_stack):
         queries = uniform_queries(resnet_stack.compiled, "resnet50", 20, 4)
