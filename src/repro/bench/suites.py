@@ -352,6 +352,19 @@ register_benchmark(Benchmark(
     tolerances={"totals_reconcile": _EXACT,
                 "artifact_builds": _EXACT},
     default_tolerance=Tolerance(rel=0.30, abs=10.0)))
+register_benchmark(Benchmark(
+    name="autoscale", kind="script", quick=True,
+    description="elastic fleet vs static peak: QoS ratio and "
+                "node-seconds on diurnal/flash-crowd load",
+    path="bench_autoscale.py",
+    tolerances={
+        # The acceptance gates themselves: pass/fail, ratcheted exactly.
+        "diurnal_qos_ratio_ok": _EXACT,
+        "diurnal_node_seconds_ok": _EXACT,
+        "flash_qos_ratio_ok": _EXACT,
+        "flash_node_seconds_ok": _EXACT,
+    },
+    default_tolerance=Tolerance(rel=0.25, abs=0.15)))
 
 # ---------------------------------------------------------------------------
 # Paper figures (pytest modules; full suite only)

@@ -1,11 +1,16 @@
-"""Multi-node serving: fleet specs, routers, admission, and experiments.
+"""Multi-node serving: fleet specs, routers, admission, autoscaling.
 
 One :class:`~repro.serving.server.ServingStack` compile pass feeds every
 node of a (possibly heterogeneous) fleet; a pluggable router assigns
 each arrival from live node state — including the interference-proxy
 pressure estimate — and an admission controller sheds or defers load
-past a fleet pressure bound.  See ``examples/cluster_serving.py`` for a
-tour and ``benchmarks/bench_cluster_scale.py`` for the scale study.
+past a fleet pressure bound.  An :class:`AutoscalePolicy` makes the
+fleet *elastic*: membership follows SLO feedback between ``min_nodes``
+and ``max_nodes``, with warm-up on the way in and draining on the way
+out.  See ``examples/cluster_serving.py`` and
+``examples/autoscale_serving.py`` for tours,
+``benchmarks/bench_cluster_scale.py`` and
+``benchmarks/bench_autoscale.py`` for the scale and frontier studies.
 """
 
 from repro.cluster.admission import (
@@ -17,10 +22,26 @@ from repro.cluster.admission import (
     fleet_outstanding_per_core,
     fleet_pressure,
 )
+from repro.cluster.autoscale import (
+    DRAIN,
+    DRAINING,
+    JOIN,
+    LIVE,
+    PROVISION,
+    RETIRE,
+    RETIRED,
+    WARMING,
+    AutoscaleController,
+    AutoscalePolicy,
+    FleetSignals,
+    ScalingEvent,
+)
 from repro.cluster.experiments import (
+    AutoscalePoint,
     ClusterCapacityResult,
     cluster_capacity,
     cluster_sweep_pool,
+    sweep_autoscale,
     sweep_cluster_qps,
 )
 from repro.cluster.fleet import Cluster, ClusterNode
@@ -46,8 +67,12 @@ __all__ = [
     "ADMIT", "DEFER", "SHED",
     "AdmissionController", "AdmissionPolicy",
     "fleet_outstanding_per_core", "fleet_pressure",
-    "ClusterCapacityResult", "cluster_capacity", "cluster_sweep_pool",
-    "sweep_cluster_qps",
+    "DRAIN", "DRAINING", "JOIN", "LIVE", "PROVISION", "RETIRE",
+    "RETIRED", "WARMING",
+    "AutoscaleController", "AutoscalePolicy", "FleetSignals",
+    "ScalingEvent",
+    "AutoscalePoint", "ClusterCapacityResult", "cluster_capacity",
+    "cluster_sweep_pool", "sweep_autoscale", "sweep_cluster_qps",
     "Cluster", "ClusterNode",
     "ClusterReport", "NodeReport", "rollup",
     "ROUTERS", "Router", "make_router",

@@ -8,6 +8,13 @@ the client retry elsewhere) or defers it briefly (ride out a burst).
 The overload signal is the same interference estimate the
 ``pressure_aware`` router uses, aggregated core-weighted over the
 fleet, plus a backlog bound in queries per core.
+
+Under an autoscaled fleet the controller is always handed the *live*
+(routable) membership only: warming nodes cannot absorb an admitted
+query yet and draining nodes are leaving, so neither may count toward
+the capacity the fleet claims at the front door.  (The autoscale
+control loop reuses :func:`fleet_pressure` /
+:func:`fleet_outstanding_per_core` over the same live set.)
 """
 
 from __future__ import annotations

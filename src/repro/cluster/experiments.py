@@ -13,6 +13,7 @@ import contextlib
 from dataclasses import dataclass
 
 from repro.cluster.admission import AdmissionPolicy
+from repro.cluster.autoscale import AutoscalePolicy
 from repro.cluster.fleet import Cluster
 from repro.cluster.metrics import ClusterReport
 from repro.cluster.spec import ClusterSpec
@@ -20,7 +21,11 @@ from repro.serving.experiments import fork_worker_pool
 from repro.serving.metrics import max_qps_at_satisfaction
 from repro.serving.server import ServingStack
 from repro.workloads.scenario import resolve_scenario
-from repro.serving.workload import WorkloadSpec
+from repro.serving.workload import (
+    WorkloadSpec,
+    poisson_queries,
+    scenario_queries,
+)
 
 #: Sweep description inherited by fork()-ed workers, exactly like
 #: ``repro.serving.experiments._SWEEP_STATE``.
@@ -134,6 +139,130 @@ def sweep_cluster_qps(stack: ServingStack, cluster_spec: ClusterSpec,
     return [_run_cluster_point(stack, cluster_spec, router, admission,
                                spec, qps, count, seed, scenario)
             for qps in qps_list]
+
+
+@dataclass(frozen=True)
+class AutoscalePoint:
+    """Static-peak vs autoscaled fleet on one identical stream.
+
+    The cost-vs-QoS frontier cell: the autoscaled fleet's QoS
+    satisfaction relative to the static-peak fleet
+    (:attr:`qos_ratio`, want >= ~0.95) against the node-seconds it
+    actually paid for (:attr:`node_seconds_ratio`, want << 1).
+    """
+
+    scenario: str
+    qps: float
+    static: ClusterReport
+    autoscaled: ClusterReport
+
+    @property
+    def qos_ratio(self) -> float:
+        """Autoscaled / static-peak QoS satisfaction (1.0 = no loss)."""
+        if self.static.satisfaction_rate <= 0.0:
+            return 1.0 if self.autoscaled.satisfaction_rate <= 0.0 else float("inf")
+        return (self.autoscaled.satisfaction_rate
+                / self.static.satisfaction_rate)
+
+    @property
+    def node_seconds_ratio(self) -> float:
+        """Autoscaled / static-peak node-seconds (the capacity saving)."""
+        if self.static.node_seconds <= 0.0:
+            return 1.0
+        return self.autoscaled.node_seconds / self.static.node_seconds
+
+
+#: Autoscale sweep description inherited by fork()-ed workers.
+_AUTOSCALE_STATE: tuple | None = None
+
+
+def _run_autoscale_point(stack: ServingStack, static_spec: ClusterSpec,
+                         initial_spec: ClusterSpec,
+                         policy: AutoscalePolicy, router: str,
+                         admission: AdmissionPolicy | None,
+                         spec: WorkloadSpec, scenario, qps: float,
+                         count: int, seed: int | None) -> AutoscalePoint:
+    """Serve one identical stream through both fleets, pair the reports.
+
+    Engines mutate queries, so each fleet gets its own regeneration of
+    the same seeded stream (bit-identical arrivals and model draws).
+    """
+    scenario = resolve_scenario(scenario)
+    effective_seed = stack.seed if seed is None else seed
+    scenario_name = scenario.name if scenario is not None else "poisson"
+
+    def stream():
+        if scenario is not None:
+            return scenario_queries(stack.compiled, scenario, qps, count,
+                                    seed=effective_seed, spec=spec)
+        return poisson_queries(stack.compiled, spec, qps, count,
+                               seed=effective_seed)
+
+    static = Cluster(stack, static_spec, router=router,
+                     admission=admission).serve(stream(), offered_qps=qps)
+    autoscaled = Cluster(stack, initial_spec, router=router,
+                         admission=admission,
+                         autoscale=policy).serve(stream(),
+                                                 offered_qps=qps)
+    return AutoscalePoint(scenario=scenario_name, qps=qps, static=static,
+                          autoscaled=autoscaled)
+
+
+def _autoscale_worker(point: tuple) -> AutoscalePoint:
+    (stack, static_spec, initial_spec, policy, router, admission,
+     spec, count, seed) = _AUTOSCALE_STATE
+    scenario, qps = point
+    return _run_autoscale_point(stack, static_spec, initial_spec, policy,
+                                router, admission, spec, scenario, qps,
+                                count, seed)
+
+
+def sweep_autoscale(stack: ServingStack, static_spec: ClusterSpec,
+                    initial_spec: ClusterSpec, policy: AutoscalePolicy,
+                    spec: WorkloadSpec,
+                    points: list[tuple[object, float]], count: int,
+                    router: str = "pressure_aware",
+                    admission: AdmissionPolicy | None = None,
+                    seed: int | None = None,
+                    workers: int | None = None) -> list[AutoscalePoint]:
+    """One :class:`AutoscalePoint` per ``(scenario, qps)`` cell.
+
+    ``static_spec`` is the peak-sized fixed fleet, ``initial_spec`` the
+    autoscaled fleet's starting membership (typically ``min_nodes``
+    small nodes), and each point serves the *same* seeded stream
+    through both.  ``workers > 1`` fans cells over the fork pool
+    exactly like :func:`sweep_cluster_qps`; platforms without ``fork``
+    fail soft to the serial path.
+    """
+    cells = [(resolve_scenario(scenario), float(qps))
+             for scenario, qps in points]
+    if not cells:
+        return []
+    requested = 1 if workers is None else max(1, int(workers))
+    requested = min(requested, len(cells))
+    if requested > 1:
+        global _AUTOSCALE_STATE
+        stack.ensure_compiled()
+        for name in stack.model_names:
+            stack.profiles[name]
+        for cpu_spec in set(initial_spec.cpu_specs + static_spec.cpu_specs
+                            + (policy.template.cpu,)):
+            stack.runtime_for(cpu_spec)
+        _AUTOSCALE_STATE = (stack, static_spec, initial_spec, policy,
+                            router, admission, spec, count, seed)
+        try:
+            with fork_worker_pool(requested) as pool:
+                if pool is not None:
+                    try:
+                        return pool.map(_autoscale_worker, cells)
+                    except OSError:
+                        pass  # worker/pipe died: recompute serially
+        finally:
+            _AUTOSCALE_STATE = None
+    return [_run_autoscale_point(stack, static_spec, initial_spec, policy,
+                                 router, admission, spec, scenario, qps,
+                                 count, seed)
+            for scenario, qps in cells]
 
 
 @dataclass(frozen=True)

@@ -5,12 +5,21 @@
 builds one :class:`~repro.runtime.engine.Engine` + policy per node over
 the stack's *shared* artifacts (one compile pass fleet-wide), then
 co-simulates them against a single arrival stream.  At each global
-arrival every node is advanced to the arrival instant
+arrival every active node is advanced to the arrival instant
 (:meth:`Engine.run_until`), the admission controller rules on the offer,
 the router picks a node from live fleet state, and the query is injected
 into that node's event loop (:meth:`Engine.submit`) — so routing
 decisions see exactly the node states a real front-end would observe at
 that moment, not a post-hoc assignment.
+
+Fleet membership is dynamic: with an
+:class:`~repro.cluster.autoscale.AutoscalePolicy` the serve loop
+interleaves control ticks into the offer heap, provisions nodes from
+the policy's template (with a warm-up delay before they join the
+routing set), and drains nodes out (they leave the routing set, finish
+their in-flight work, then retire and stop being driven).  Routers and
+admission only ever see the *live* membership; the scaling timeline and
+per-node lifecycle land in the :class:`~repro.cluster.metrics.ClusterReport`.
 """
 
 from __future__ import annotations
@@ -23,6 +32,19 @@ from repro.cluster.admission import (
     DEFER,
     AdmissionController,
     AdmissionPolicy,
+)
+from repro.cluster.autoscale import (
+    DRAIN,
+    DRAINING,
+    JOIN,
+    LIVE,
+    PROVISION,
+    RETIRE,
+    RETIRED,
+    WARMING,
+    AutoscaleController,
+    AutoscalePolicy,
+    ScalingEvent,
 )
 from repro.cluster.metrics import ClusterReport, rollup
 from repro.cluster.router import Router, make_router
@@ -37,6 +59,11 @@ from repro.serving.workload import (
     poisson_queries,
     scenario_queries,
 )
+
+#: Serve-loop event kinds (never compared: sequence numbers are unique).
+_OFFER = "offer"
+_TICK = "tick"
+_JOIN = "join"
 
 
 class ClusterNode:
@@ -55,10 +82,32 @@ class ClusterNode:
         self.engine.begin([], self.scheduler)
         #: Queries the router assigned here.
         self.assigned = 0
+        #: Lifecycle (see :mod:`repro.cluster.autoscale`): static fleet
+        #: members are live for the whole run; autoscaled nodes move
+        #: warming -> live -> draining -> retired.
+        self.state = LIVE
+        self.provisioned_s = 0.0
+        self.joined_s: float | None = None
+        self.drain_started_s: float | None = None
+        self.retired_s: float | None = None
+        #: Completions already fed to the autoscale SLO window.
+        self._slo_cursor = 0
 
     @property
     def cores(self) -> int:
         return self.spec.cpu.cores
+
+    @property
+    def node_seconds(self) -> float:
+        """Provision-to-retire span — what this node's capacity cost.
+
+        Warm-up counts (capacity is paid for from the moment it is
+        requested); zero until the run's end-of-serve bookkeeping has
+        stamped ``retired_s``.
+        """
+        if self.retired_s is None:
+            return 0.0
+        return max(0.0, self.retired_s - self.provisioned_s)
 
     def pressure_estimate(self) -> float:
         """This node's interference estimate — the routing signal.
@@ -78,19 +127,27 @@ class Cluster:
     ``Cluster`` can drive a whole QPS sweep.  Pass ``router`` as a
     registry name (a fresh router is built per serve) or as a
     :class:`Router` instance to keep custom routing state across calls.
+    An :class:`AutoscalePolicy` turns on the feedback control plane:
+    ``spec`` then describes the *initial* fleet and membership follows
+    load between the policy's ``min_nodes`` and ``max_nodes``.
     """
 
     def __init__(self, stack: ServingStack, spec: ClusterSpec,
                  router: str | Router = "pressure_aware",
                  admission: AdmissionPolicy | None = None,
+                 autoscale: AutoscalePolicy | None = None,
                  incremental: bool = True) -> None:
         self.stack = stack
         self.spec = spec
         self.router = router
         self.admission = admission
+        self.autoscale = autoscale
         self.incremental = incremental
-        #: Nodes of the most recent :meth:`serve` (debugging handle).
+        #: Every node of the most recent :meth:`serve`, in provision
+        #: order, retired ones included (debugging handle).
         self.last_nodes: list[ClusterNode] | None = None
+        #: The most recent serve's autoscale controller (tick signals).
+        self.last_autoscale: AutoscaleController | None = None
 
     def _build_nodes(self) -> list[ClusterNode]:
         return [ClusterNode(index, node_spec, self.stack,
@@ -102,6 +159,60 @@ class Cluster:
             return self.router
         return make_router(self.router)
 
+    def _provision(self, all_nodes: list[ClusterNode], name: str,
+                   now: float) -> ClusterNode:
+        """A warming node from the autoscale template, joined later.
+
+        Reuses ``stack.runtime_for`` + the artifact store contract:
+        spin-up re-profiles for the template's CPU (memoised after the
+        first node of a width) but never recompiles.
+        """
+        spec = NodeSpec(name=name, cpu=self.autoscale.template.cpu,
+                        policy=self.autoscale.template.policy)
+        node = ClusterNode(len(all_nodes), spec, self.stack,
+                           incremental=self.incremental)
+        node.state = WARMING
+        node.provisioned_s = now
+        all_nodes.append(node)
+        return node
+
+    @staticmethod
+    def _retire_time(node: ClusterNode) -> float:
+        """When a drained node actually emptied: its last finish."""
+        completed = node.engine.completed
+        finish = completed[-1].finished_s if completed else None
+        retired = node.drain_started_s
+        if finish is not None and finish > retired:
+            retired = finish
+        return retired
+
+    @classmethod
+    def _retire(cls, node: ClusterNode, routable: list[ClusterNode],
+                timeline: list[ScalingEvent]) -> None:
+        """Mark a drained node retired at its actual last-finish time."""
+        node.retired_s = cls._retire_time(node)
+        node.state = RETIRED
+        timeline.append(ScalingEvent(
+            time_s=node.retired_s, action=RETIRE, node=node.spec.name,
+            live_nodes=len(routable)))
+
+    @classmethod
+    def _retire_drained(cls, all_nodes: list[ClusterNode],
+                        routable: list[ClusterNode],
+                        timeline: list[ScalingEvent]) -> None:
+        """Retire every emptied draining node, in retire-time order.
+
+        Concurrently draining nodes empty at their own last-finish
+        instants; retiring them in node-index order would stamp the
+        timeline out of chronological order.
+        """
+        emptied = [node for node in all_nodes
+                   if node.state == DRAINING
+                   and node.engine.outstanding == 0]
+        emptied.sort(key=lambda node: (cls._retire_time(node), node.index))
+        for node in emptied:
+            cls._retire(node, routable, timeline)
+
     def serve(self, queries: list[Query],
               offered_qps: float | None = None) -> ClusterReport:
         """Route and co-simulate one query stream; returns the rollup."""
@@ -111,36 +222,106 @@ class Cluster:
         router = self._build_router()
         controller = (AdmissionController(self.admission)
                       if self.admission is not None else None)
+        scaler = (AutoscaleController(self.autoscale)
+                  if self.autoscale is not None else None)
 
-        # Offer heap: (offer time, seq, prior deferrals, query).  Seeded
-        # with every arrival; deferred queries are re-pushed at their
-        # re-offer instant with the attempt count bumped.
+        start_s = min(query.arrival_s for query in queries)
+        for node in nodes:
+            node.provisioned_s = start_s
+            node.joined_s = start_s
+        #: Every node ever provisioned, in provision order (ascending
+        #: ``index``); membership state lives on the nodes.
+        all_nodes = list(nodes)
+        #: The routing set: live nodes, ascending index (provisioned
+        #: nodes join strictly after every earlier join).
+        routable = list(nodes)
+        timeline: list[ScalingEvent] = []
+        peak_live = len(routable)
+        auto_names = itertools.count(1)
+
+        # Event heap: offers seeded with every arrival (deferred queries
+        # re-pushed at their re-offer instant with the attempt count
+        # bumped), plus autoscale control ticks and node-join events.
         seq = itertools.count()
-        offers = [(query.arrival_s, next(seq), 0, query)
+        events = [(query.arrival_s, next(seq), _OFFER, (0, query))
                   for query in sorted(queries,
                                       key=lambda q: (q.arrival_s,
                                                      q.query_id))]
-        heapq.heapify(offers)
+        heapq.heapify(events)
+        pending_offers = len(events)
+        if scaler is not None:
+            heapq.heappush(events, (start_s + self.autoscale.tick_s,
+                                    next(seq), _TICK, None))
         shed: list[Query] = []
+        last_advance = float("-inf")
 
-        while offers:
-            now, _, attempts, query = heapq.heappop(offers)
-            for node in nodes:
-                node.engine.run_until(now)
+        while events:
+            now, _, kind, payload = heapq.heappop(events)
+            if now > last_advance:
+                # Advance once per distinct event time (re-offers and
+                # simultaneous arrivals share the advance), and only
+                # drive nodes that still have or may get work.
+                for node in all_nodes:
+                    if node.state != RETIRED:
+                        node.engine.run_until(now)
+                last_advance = now
+                self._retire_drained(all_nodes, routable, timeline)
+
+            if kind == _TICK:
+                if pending_offers > 0:
+                    self._autoscale_tick(scaler, all_nodes, routable,
+                                         timeline, events, seq,
+                                         auto_names, now)
+                    heapq.heappush(
+                        events, (now + self.autoscale.tick_s, next(seq),
+                                 _TICK, None))
+                continue
+            if kind == _JOIN:
+                node = payload
+                node.state = LIVE
+                node.joined_s = now
+                routable.append(node)
+                peak_live = max(peak_live, len(routable))
+                timeline.append(ScalingEvent(
+                    time_s=now, action=JOIN, node=node.spec.name,
+                    live_nodes=len(routable)))
+                continue
+
+            pending_offers -= 1
+            attempts, query = payload
             if controller is not None:
-                decision = controller.decide(nodes, query, attempts)
+                decision = controller.decide(routable, query, attempts)
                 if decision == DEFER:
                     heapq.heappush(
-                        offers,
+                        events,
                         (now + controller.policy.defer_s, next(seq),
-                         attempts + 1, query))
+                         _OFFER, (attempts + 1, query)))
+                    pending_offers += 1
                     continue
                 if decision != ADMIT:
                     shed.append(query)
                     continue
-            node = router.choose(nodes, query, now)
+            node = router.choose(routable, query, now)
             node.engine.submit(query, at=now)
             node.assigned += 1
+            # Process the arrival at its own instant so the next offer
+            # at the same timestamp routes on fresh node state (the
+            # per-offer full-fleet advance this replaces did exactly
+            # this, O(nodes) times over).
+            node.engine.run_until(now)
+
+        # Tail: finish in-flight work everywhere, then stamp lifecycle.
+        for node in all_nodes:
+            if node.state != RETIRED:
+                node.engine.drain()
+        self._retire_drained(all_nodes, routable, timeline)
+        window_end = max(
+            [query.arrival_s for query in queries]
+            + [node.engine.completed[-1].finished_s
+               for node in all_nodes if node.engine.completed])
+        for node in all_nodes:
+            if node.retired_s is None:
+                node.retired_s = window_end
 
         if offered_qps is None:
             # Rate estimate from the stream itself: N queries span N-1
@@ -151,19 +332,66 @@ class Cluster:
             offered_qps = ((len(queries) - 1) / span if span > 0
                            else 0.0)
 
+        # Per-node offered share of the fleet rate: a node's share is
+        # of what was *admitted* — shed queries never reached any node,
+        # so dividing by the full offered count would under-state every
+        # node's load whenever the controller sheds (and the per-node
+        # offered rates would no longer sum to the fleet rate).
+        admitted_total = sum(node.assigned for node in all_nodes)
         node_results = []
-        for node in nodes:
-            completed = node.engine.drain()
-            share = node.assigned / len(queries)
+        for node in all_nodes:
+            completed = node.engine.completed
+            share = (node.assigned / admitted_total if admitted_total
+                     else 0.0)
             report = summarize(completed, node.engine.metrics,
                                offered_qps * share)
             node_results.append((node, completed, report))
 
-        self.last_nodes = nodes
+        self.last_nodes = all_nodes
+        self.last_autoscale = scaler
         return rollup(
             offered=list(queries), node_results=node_results, shed=shed,
             deferrals=controller.deferrals if controller else 0,
-            offered_qps=offered_qps, router=router.name)
+            offered_qps=offered_qps, router=router.name,
+            timeline=tuple(timeline), peak_live_nodes=peak_live,
+            window=(start_s, window_end))
+
+    def _autoscale_tick(self, scaler: AutoscaleController,
+                        all_nodes: list[ClusterNode],
+                        routable: list[ClusterNode],
+                        timeline: list[ScalingEvent], events: list,
+                        seq, auto_names, now: float) -> None:
+        """One control tick: feed the SLO window, maybe resize the fleet."""
+        for node in all_nodes:
+            completed = node.engine.completed
+            if node._slo_cursor < len(completed):
+                scaler.observe_completions(completed[node._slo_cursor:])
+                node._slo_cursor = len(completed)
+        warming = sum(1 for node in all_nodes if node.state == WARMING)
+        delta = scaler.decide(now, routable, warming)
+        if delta > 0:
+            for _ in range(delta):
+                name = f"{self.autoscale.template.name}-{next(auto_names)}"
+                node = self._provision(all_nodes, name, now)
+                timeline.append(ScalingEvent(
+                    time_s=now, action=PROVISION, node=name,
+                    live_nodes=len(routable), reason=scaler.reason()))
+                heapq.heappush(
+                    events, (now + self.autoscale.warmup_s, next(seq),
+                             _JOIN, node))
+        elif delta < 0:
+            # Drain the emptiest live node; prefer the youngest on ties
+            # (scale-in releases the most recently acquired capacity).
+            victim = min(routable,
+                         key=lambda n: (n.engine.outstanding, -n.index))
+            routable.remove(victim)
+            victim.state = DRAINING
+            victim.drain_started_s = now
+            timeline.append(ScalingEvent(
+                time_s=now, action=DRAIN, node=victim.spec.name,
+                live_nodes=len(routable), reason=scaler.reason()))
+            if victim.engine.outstanding == 0:
+                self._retire(victim, routable, timeline)
 
     def report(self, spec: WorkloadSpec, qps: float, count: int,
                seed: int | None = None, scenario=None) -> ClusterReport:

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.cluster.autoscale import ScalingEvent
 from repro.models.registry import WORKLOAD_CLASSES, get_entry
 from repro.runtime.tasks import Query
 from repro.serving.metrics import ServingReport
@@ -30,6 +31,11 @@ class NodeReport:
     completed: int
     satisfied: int
     report: ServingReport
+    #: Lifecycle (autoscaled fleets; static members span the whole run).
+    provisioned_s: float = 0.0
+    retired_s: float = 0.0
+    node_seconds: float = 0.0
+    final_state: str = "live"
 
     @property
     def satisfaction_rate(self) -> float:
@@ -61,39 +67,98 @@ class ClusterReport:
     #: queries only; classes absent from the stream are omitted.
     class_p99_s: tuple[tuple[str, float], ...]
     #: max/mean of per-node (assigned / cores) — 1.0 is a perfectly
-    #: width-proportional assignment.
+    #: width-proportional assignment.  Elastic fleets (non-empty
+    #: scaling timeline) further normalise by each node's
+    #: provisioned lifetime, i.e. assigned per core-second.
     load_imbalance: float
     shed_rate: float
     nodes: tuple[NodeReport, ...]
+    #: Serve window (first arrival to last completion), seconds.
+    span_s: float = 0.0
+    #: Sum of per-node provision-to-retire spans — the fleet's capacity
+    #: cost.  A static N-node fleet pays exactly ``N * span_s``; an
+    #: autoscaled fleet pays for what it held.
+    node_seconds: float = 0.0
+    #: Core-second integrals: cores actually allocated to blocks vs
+    #: cores provisioned (``cores * node_seconds`` summed per node).
+    core_seconds_used: float = 0.0
+    core_seconds_available: float = 0.0
+    #: Most live (routable) nodes at any instant of the run.
+    peak_live_nodes: int = 0
+    #: Node lifecycle transitions, in order (empty for static fleets).
+    scaling_timeline: tuple[ScalingEvent, ...] = ()
+
+    @property
+    def utilization(self) -> float:
+        """Allocated core-seconds over provisioned core-seconds."""
+        if self.core_seconds_available <= 0.0:
+            return 0.0
+        return self.core_seconds_used / self.core_seconds_available
+
+    @property
+    def average_live_nodes(self) -> float:
+        """Node-seconds spread over the serve window (mean fleet size)."""
+        return self.node_seconds / self.span_s if self.span_s > 0 else 0.0
 
     def __str__(self) -> str:  # pragma: no cover - display helper
+        scaled = (f" nodes(avg/peak)={self.average_live_nodes:.1f}"
+                  f"/{self.peak_live_nodes}"
+                  if self.scaling_timeline else "")
         return (f"qps={self.offered_qps:.0f} nodes={len(self.nodes)}"
                 f" sat={self.satisfaction_rate:.1%}"
                 f" goodput={self.goodput_qps:.0f}/s"
                 f" p99={self.p99_latency_s * 1e3:.2f}ms"
                 f" shed={self.shed_rate:.1%}"
-                f" imbalance={self.load_imbalance:.2f}")
+                f" imbalance={self.load_imbalance:.2f}"
+                f" node-s={self.node_seconds:.1f}{scaled}")
 
 
 def rollup(offered: list[Query],
            node_results: list[tuple["object", list[Query], ServingReport]],
            shed: list[Query], deferrals: int, offered_qps: float,
-           router: str) -> ClusterReport:
+           router: str,
+           timeline: tuple[ScalingEvent, ...] = (),
+           peak_live_nodes: int | None = None,
+           window: tuple[float, float] | None = None) -> ClusterReport:
     """Fold per-node outcomes into one :class:`ClusterReport`.
 
     ``node_results`` is one ``(node, completed_queries, report)`` triple
     per fleet member, where ``node`` exposes ``spec``/``assigned`` (the
-    fleet driver's :class:`~repro.cluster.fleet.ClusterNode`).
+    fleet driver's :class:`~repro.cluster.fleet.ClusterNode`); lifecycle
+    attributes (``provisioned_s``/``retired_s``/``state``) and engine
+    core-usage integrals are read when present and default to a
+    whole-window static member otherwise.  ``window`` is the serve span
+    (first arrival to last completion); ``timeline`` the scaling events.
     """
+    if window is None:
+        start = min(q.arrival_s for q in offered) if offered else 0.0
+        finishes = [q.finished_s for _, completed, _ in node_results
+                    for q in completed]
+        window = (start, max(finishes) if finishes else start)
+    window_start, window_end = window
+
     node_reports = []
     all_completed: list[Query] = []
+    core_seconds_used = 0.0
     for node, completed, report in node_results:
         satisfied = sum(1 for query in completed if query.satisfied)
+        provisioned = getattr(node, "provisioned_s", None)
+        if provisioned is None:
+            provisioned = window_start
+        retired = getattr(node, "retired_s", None)
+        if retired is None:
+            retired = window_end
+        engine = getattr(node, "engine", None)
+        if engine is not None:
+            core_seconds_used += engine.metrics.usage_core_seconds
         node_reports.append(NodeReport(
             name=node.spec.name, cpu_name=node.spec.cpu.name,
             cores=node.cores, policy=node.spec.policy,
             assigned=node.assigned, completed=len(completed),
-            satisfied=satisfied, report=report))
+            satisfied=satisfied, report=report,
+            provisioned_s=provisioned, retired_s=retired,
+            node_seconds=max(0.0, retired - provisioned),
+            final_state=getattr(node, "state", "live")))
         all_completed.extend(completed)
 
     offered_count = len(offered)
@@ -123,9 +188,22 @@ def rollup(offered: list[Query],
         (workload_class, float(np.percentile(by_class[workload_class], 99)))
         for workload_class in WORKLOAD_CLASSES if workload_class in by_class)
 
-    loads = [node.assigned / node.cores for node in node_reports]
-    mean_load = sum(loads) / len(loads)
+    if timeline:
+        # Elastic fleet: normalise assignment by each node's provisioned
+        # core-seconds, or a node that joined for the last tenth of the
+        # run (or retired early) would read as wildly under/over-loaded
+        # against whole-run members.  Static fleets keep the plain
+        # per-core load (equal lifetimes would cancel out anyway).
+        loads = [node.assigned / (node.cores * node.node_seconds)
+                 for node in node_reports if node.node_seconds > 0]
+    else:
+        loads = [node.assigned / node.cores for node in node_reports]
+    mean_load = (sum(loads) / len(loads)) if loads else 0.0
     imbalance = max(loads) / mean_load if mean_load > 0 else 1.0
+
+    node_seconds = sum(node.node_seconds for node in node_reports)
+    available = sum(node.cores * node.node_seconds
+                    for node in node_reports)
 
     return ClusterReport(
         offered_qps=offered_qps,
@@ -145,4 +223,11 @@ def rollup(offered: list[Query],
         load_imbalance=imbalance,
         shed_rate=len(shed) / offered_count if offered_count else 0.0,
         nodes=tuple(node_reports),
+        span_s=max(0.0, window_end - window_start),
+        node_seconds=node_seconds,
+        core_seconds_used=core_seconds_used,
+        core_seconds_available=available,
+        peak_live_nodes=(peak_live_nodes if peak_live_nodes is not None
+                         else len(node_reports)),
+        scaling_timeline=tuple(timeline),
     )

@@ -31,16 +31,32 @@ class Router:
 
 
 class RoundRobinRouter(Router):
-    """Cyclic assignment — the width- and state-blind baseline."""
+    """Cyclic assignment — the width- and state-blind baseline.
+
+    The cursor tracks the *identity* (``node.index``) of the last node
+    served, not a position: a global counter modulo the current list
+    length skips or double-serves nodes the moment membership changes
+    (an autoscaled fleet joins and drains nodes mid-run).  Each pick is
+    the first live node after the last-served id, wrapping — which on a
+    static fleet reproduces the classic ``0, 1, ..., n-1, 0`` cycle
+    byte for byte.
+    """
 
     name = "round_robin"
 
     def __init__(self) -> None:
-        self._next = 0
+        #: ``node.index`` of the last node served; None before the
+        #: first pick.  Live node lists are ascending by index.
+        self._last_index: int | None = None
 
     def choose(self, nodes, query, now: float):
-        node = nodes[self._next % len(nodes)]
-        self._next += 1
+        if self._last_index is not None:
+            for node in nodes:
+                if node.index > self._last_index:
+                    self._last_index = node.index
+                    return node
+        node = nodes[0]
+        self._last_index = node.index
         return node
 
 

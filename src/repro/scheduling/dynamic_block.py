@@ -19,6 +19,7 @@ This scheduler with static versions is the VELTAIR-AS configuration.
 from __future__ import annotations
 
 from repro.runtime.engine import Engine
+from repro.runtime.pricing import PricingCache
 from repro.runtime.tasks import Query
 from repro.scheduling.base import (
     BlockPlan,
@@ -26,6 +27,15 @@ from repro.scheduling.base import (
     SpatialScheduler,
     block_required_cores,
 )
+
+#: Default bound for the planning memos (block requirements, per-layer
+#: required cores).  Shared by every scheduler that keys plans on
+#: (signature, version, budget, pressure) tuples, and plumbed through
+#: :class:`~repro.serving.server.ServingStack` as ``plan_cache_entries``
+#: so one knob bounds the whole stack's schedulers.  Keyspace size only
+#: affects recompute frequency, never results (entries are
+#: deterministic functions of their keys).
+DEFAULT_PLAN_CACHE_ENTRIES = 1 << 16
 
 
 class ProportionalThresholdPolicy:
@@ -77,7 +87,9 @@ class DynamicBlockScheduler(SpatialScheduler):
 
     def __init__(self, cost_model, profiles,
                  threshold_policy: ProportionalThresholdPolicy | None = None,
-                 budget_headroom: float = 0.8) -> None:
+                 budget_headroom: float = 0.8,
+                 plan_cache_entries: int = DEFAULT_PLAN_CACHE_ENTRIES,
+                 ) -> None:
         super().__init__(cost_model, profiles)
         self.threshold_policy = (threshold_policy
                                  or ProportionalThresholdPolicy())
@@ -88,7 +100,8 @@ class DynamicBlockScheduler(SpatialScheduler):
         if not 0.0 < budget_headroom <= 1.0:
             raise ValueError("budget_headroom must be in (0, 1]")
         self.budget_headroom = budget_headroom
-        self._block_req_cache: dict = {}
+        self._block_req_cache = PricingCache(
+            max_entries=plan_cache_entries)
 
     # -- version/requirement hooks (overridden by the full scheduler) -----
 
@@ -147,7 +160,7 @@ class DynamicBlockScheduler(SpatialScheduler):
             desired = block_required_cores(
                 self.cost_model, query, start, stop, versions, budget,
                 interference=pressure, cap=cap)
-            self._block_req_cache[key] = desired
+            self._block_req_cache.put(key, desired)
         return BlockPlan(
             stop_layer=stop,
             desired_cores=desired,

@@ -15,8 +15,10 @@ from __future__ import annotations
 
 from repro.interference.proxy import estimate_system_pressure
 from repro.runtime.engine import Engine
+from repro.runtime.pricing import PricingCache
 from repro.runtime.tasks import Query
 from repro.scheduling.base import BlockPlan, ModelProfile, SpatialScheduler
+from repro.scheduling.dynamic_block import DEFAULT_PLAN_CACHE_ENTRIES
 
 
 class LayerWiseScheduler(SpatialScheduler):
@@ -49,10 +51,15 @@ class AdaptiveCompilationOnly(LayerWiseScheduler):
 
     admit_full_grant_only = True
 
-    def __init__(self, cost_model, profiles, proxy=None) -> None:
+    def __init__(self, cost_model, profiles, proxy=None,
+                 plan_cache_entries: int = DEFAULT_PLAN_CACHE_ENTRIES,
+                 ) -> None:
         super().__init__(cost_model, profiles)
         self.proxy = proxy
-        self._required_cache: dict = {}
+        # Bounded like every planning memo (see DynamicBlockScheduler):
+        # the keyspace grows with the stream, the cache must not.
+        self._required_cache = PricingCache(
+            max_entries=plan_cache_entries)
 
     def interference_estimate(self, engine: Engine) -> float:
         return estimate_system_pressure(engine, self.proxy)
@@ -91,5 +98,5 @@ class AdaptiveCompilationOnly(LayerWiseScheduler):
                                                     pressure)
             if cached is None:
                 cached = self.cost_model.cpu.cores
-            self._required_cache[key] = cached
+            self._required_cache.put(key, cached)
         return cached

@@ -39,7 +39,10 @@ from repro.runtime.engine import Engine
 from repro.runtime.pricing import PricingCache
 from repro.runtime.tasks import Query
 from repro.scheduling.base import ModelProfile, build_profile
-from repro.scheduling.dynamic_block import DynamicBlockScheduler
+from repro.scheduling.dynamic_block import (
+    DEFAULT_PLAN_CACHE_ENTRIES,
+    DynamicBlockScheduler,
+)
 from repro.scheduling.fcfs_model import ModelWiseFcfs
 from repro.scheduling.fixed_block import FixedBlockScheduler
 from repro.scheduling.layerwise import (
@@ -132,6 +135,7 @@ class ServingStack:
                  proxy_scenarios: int = 240,
                  seed: int = DEFAULT_SEED,
                  price_cache_entries: int = 1 << 18,
+                 plan_cache_entries: int = DEFAULT_PLAN_CACHE_ENTRIES,
                  artifact_store: ArtifactStore | str | Path | None = "auto",
                  compile_workers: int | None = None) -> None:
         self.cpu = cpu or THREADRIPPER_3990X
@@ -141,6 +145,11 @@ class ServingStack:
         #: warm cache eliminates most cost-model pricing calls.  Size is
         #: bounded by ``price_cache_entries`` (batched FIFO eviction).
         self.price_cache = PricingCache(max_entries=price_cache_entries)
+        #: Bound for the per-scheduler planning memos (required-core and
+        #: block-requirement lookups); one knob for every scheduler
+        #: this stack builds, so long serve loops and cluster sweeps
+        #: hold their steady-state footprint.
+        self.plan_cache_entries = plan_cache_entries
         if compile_workers is None:
             compile_workers = int(os.environ.get("REPRO_COMPILE_WORKERS",
                                                  "1"))
@@ -296,20 +305,25 @@ class ServingStack:
             return PremaScheduler(cost_model, profiles)
         if policy.startswith("block"):
             size = int(policy.removeprefix("block"))
-            return FixedBlockScheduler(cost_model, profiles,
-                                       block_size=size)
+            return FixedBlockScheduler(
+                cost_model, profiles, block_size=size,
+                plan_cache_entries=self.plan_cache_entries)
         if policy == "veltair_as":
-            return DynamicBlockScheduler(cost_model, profiles)
+            return DynamicBlockScheduler(
+                cost_model, profiles,
+                plan_cache_entries=self.plan_cache_entries)
         # Only the proxy-driven policies read the proxy — referencing
         # ``self.proxy`` here would trigger the lazy fit for everyone.
         if policy == "veltair_ac":
             return AdaptiveCompilationOnly(
                 cost_model, profiles,
-                proxy=runtime.proxy if runtime else self.proxy)
+                proxy=runtime.proxy if runtime else self.proxy,
+                plan_cache_entries=self.plan_cache_entries)
         if policy == "veltair_full":
             return VeltairScheduler(
                 cost_model, profiles,
-                proxy=runtime.proxy if runtime else self.proxy)
+                proxy=runtime.proxy if runtime else self.proxy,
+                plan_cache_entries=self.plan_cache_entries)
         raise ValueError(f"unknown policy {policy!r}; known: {POLICIES}")
 
     def run(self, policy: str, queries: list[Query],

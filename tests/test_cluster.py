@@ -295,6 +295,114 @@ class TestAdmission:
                  _StubNode(1, 192, pressure=0.0)]
         assert fleet_pressure(nodes) == pytest.approx(0.25)
 
+    def test_node_offered_share_divides_by_admitted(self, light_stack):
+        """Satellite fix: per-node offered QPS shares what was admitted.
+
+        Shed queries never reach a node; dividing a node's share by the
+        full offered count under-stated every node's load whenever the
+        controller shed, and the per-node rates no longer summed to the
+        fleet rate.
+        """
+        policy = AdmissionPolicy(max_fleet_pressure=1.0,
+                                 max_outstanding_per_core=0.02,
+                                 mode="shed")
+        cluster = Cluster(light_stack, homogeneous(2),
+                          router="round_robin", admission=policy)
+        report = cluster.report(MIX, qps=800, count=120, seed=3)
+        assert report.shed > 0
+        assert sum(n.report.offered_qps for n in report.nodes) == (
+            pytest.approx(report.offered_qps))
+
+    def test_defer_accounting_and_reoffer_ordering(self, light_stack,
+                                                   monkeypatch):
+        """Defer -> shed bookkeeping plus the offer heap's ordering.
+
+        Every decision the controller makes is recorded: deferred
+        queries must be re-offered exactly ``defer_s`` later with the
+        attempt count bumped, interleaved in time order with later
+        arrivals, and the ``deferrals``/``shed`` counters must equal
+        the recorded decision stream.
+        """
+        from repro.cluster.admission import AdmissionController
+
+        log = []
+
+        class Recorder(AdmissionController):
+            def decide(self, nodes, query, attempts):
+                decision = super().decide(nodes, query, attempts)
+                log.append((query.query_id, attempts, decision))
+                return decision
+
+        instances = []
+
+        class Tracked(Recorder):
+            def __init__(self, policy):
+                super().__init__(policy)
+                instances.append(self)
+
+        monkeypatch.setattr("repro.cluster.fleet.AdmissionController",
+                            Tracked)
+        policy = AdmissionPolicy(max_fleet_pressure=1.0,
+                                 max_outstanding_per_core=0.02,
+                                 mode="defer", defer_s=0.005,
+                                 max_defers=2)
+        cluster = Cluster(light_stack, homogeneous(1),
+                          router="round_robin", admission=policy)
+        report = cluster.report(MIX, qps=800, count=120, seed=3)
+        (controller,) = instances
+
+        decisions = [entry[2] for entry in log]
+        assert report.deferrals == controller.deferrals == (
+            decisions.count("defer"))
+        assert report.shed == controller.shed == decisions.count("shed")
+        assert report.admitted == controller.admitted == (
+            decisions.count("admit"))
+        assert report.offered == report.admitted + report.shed
+
+        # Per-query offer chains: attempts count 0, 1, ... and stop at
+        # max_defers; only a defer extends the chain.
+        by_query: dict[int, list] = {}
+        for query_id, attempts, decision in log:
+            by_query.setdefault(query_id, []).append((attempts, decision))
+        assert any(len(chain) > 1 for chain in by_query.values())
+        for chain in by_query.values():
+            assert [a for a, _ in chain] == list(range(len(chain)))
+            for _, decision in chain[:-1]:
+                assert decision == "defer"
+            assert len(chain) - 1 <= policy.max_defers
+            if len(chain) - 1 == policy.max_defers:
+                assert chain[-1][1] in ("admit", "shed")
+
+    def test_reoffers_interleave_with_later_arrivals(self, light_stack,
+                                                     monkeypatch):
+        """A deferred re-offer is decided at arrival + k * defer_s, in
+        time order with arrivals landing inside the deferral window."""
+        from repro.cluster.admission import AdmissionController
+
+        offers = []
+
+        class Recorder(AdmissionController):
+            def decide(self, nodes, query, attempts):
+                offers.append((query.arrival_s
+                               + attempts * self.policy.defer_s,
+                               query.query_id, attempts))
+                return super().decide(nodes, query, attempts)
+
+        monkeypatch.setattr("repro.cluster.fleet.AdmissionController",
+                            Recorder)
+        policy = AdmissionPolicy(max_fleet_pressure=1.0,
+                                 max_outstanding_per_core=0.02,
+                                 mode="defer", defer_s=0.005,
+                                 max_defers=3)
+        cluster = Cluster(light_stack, homogeneous(1),
+                          router="round_robin", admission=policy)
+        cluster.report(MIX, qps=800, count=120, seed=3)
+
+        times = [time for time, _, _ in offers]
+        assert times == sorted(times)
+        deferred = [entry for entry in offers if entry[2] > 0]
+        assert deferred, "the overload must actually defer something"
+
 
 class TestClusterExperiments:
     def test_sweep_shapes_and_determinism(self, light_stack):
