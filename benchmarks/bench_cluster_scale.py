@@ -35,7 +35,6 @@ import sys
 import time
 
 from repro.cluster import (
-    ROUTERS,
     AdmissionPolicy,
     Cluster,
     cluster_capacity,
@@ -48,6 +47,13 @@ from repro.serving.workload import WorkloadSpec
 FULL_MODELS = ("mobilenet_v2", "tiny_yolov2", "googlenet",
                "resnet50", "ssd_resnet34")
 QUICK_MODELS = ("mobilenet_v2", "tiny_yolov2", "ssd_resnet34")
+
+#: The routers this benchmark's committed baseline covers.  Pinned
+#: explicitly (not the live registry) so new routers — benchmarked by
+#: their own suites, e.g. bench_hetero_fleet for ``device_affinity`` —
+#: don't change this baseline's metric set or wall time.
+CAPACITY_ROUTERS = ("round_robin", "least_outstanding",
+                    "join_shortest_queue", "pressure_aware")
 
 
 def _bracket_note(qps: float, high_qps: float) -> str:
@@ -113,7 +119,7 @@ def main(argv: list[str] | None = None) -> int:
     print(header)
     print("-" * len(header))
     capacities: dict[str, float] = {}
-    for router in ROUTERS:
+    for router in CAPACITY_ROUTERS:
         t0 = time.perf_counter()
         result = cluster_capacity(
             stack, fleet, spec, count=count, router=router, target=0.99,

@@ -13,7 +13,7 @@ from repro.serving.experiments import capacity
 from repro.serving.workload import HEAVY_MIX, LIGHT_MIX, MEDIUM_MIX, full_mix
 
 _POLICIES = ("layerwise", "prema", "veltair_as", "veltair_ac",
-             "veltair_full")
+             "veltair_full", "gacer")
 _WORKLOADS = (LIGHT_MIX, MEDIUM_MIX, HEAVY_MIX, full_mix())
 
 

@@ -9,6 +9,8 @@ Quick suite (what CI ratchets on, ``--quick``):
 * ``trace_roundtrip``   — record -> save -> load -> replay equality,
   single-node and fleet.
 * ``engine_scale`` / ``cluster_scale`` — the standalone scale gauges.
+* ``hetero_fleet``      — mixed CPU+accelerator fleet: capacity vs
+  CPU-only, device-affinity routing, accelerator scheduler A/B.
 
 Full suite adds every paper figure (``benchmarks/bench_fig*.py``, run
 through pytest; their ``record(...)`` calls write the JSON results).
@@ -351,6 +353,16 @@ register_benchmark(Benchmark(
     path="bench_cluster_scale.py",
     tolerances={"totals_reconcile": _EXACT,
                 "artifact_builds": _EXACT},
+    default_tolerance=Tolerance(rel=0.30, abs=10.0)))
+register_benchmark(Benchmark(
+    name="hetero_fleet", kind="script", quick=True,
+    description="mixed CPU+accelerator fleet capacity, device-affinity "
+                "routing, accelerator scheduler A/B",
+    path="bench_hetero_fleet.py",
+    tolerances={"artifact_builds": _EXACT,
+                "mixed_ge_cpu_only": _EXACT,
+                "affinity_ge_pressure": _EXACT,
+                "affinity_deterministic": _EXACT},
     default_tolerance=Tolerance(rel=0.30, abs=10.0)))
 register_benchmark(Benchmark(
     name="autoscale", kind="script", quick=True,

@@ -48,6 +48,7 @@ from repro.cluster.fleet import Cluster, ClusterNode
 from repro.cluster.metrics import ClusterReport, NodeReport, rollup
 from repro.cluster.router import (
     ROUTERS,
+    DeviceAffinityRouter,
     JoinShortestQueueRouter,
     LeastOutstandingRouter,
     PressureAwareRouter,
@@ -59,6 +60,7 @@ from repro.cluster.spec import (
     DEFAULT_NODE_POLICY,
     ClusterSpec,
     NodeSpec,
+    hetero_fleet,
     homogeneous,
     mixed_fleet,
 )
@@ -78,6 +80,7 @@ __all__ = [
     "ROUTERS", "Router", "make_router",
     "RoundRobinRouter", "LeastOutstandingRouter",
     "JoinShortestQueueRouter", "PressureAwareRouter",
+    "DeviceAffinityRouter",
     "DEFAULT_NODE_POLICY", "ClusterSpec", "NodeSpec",
-    "homogeneous", "mixed_fleet",
+    "homogeneous", "mixed_fleet", "hetero_fleet",
 ]

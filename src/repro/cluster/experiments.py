@@ -68,15 +68,15 @@ def cluster_sweep_pool(stack: ServingStack, cluster_spec: ClusterSpec,
     """
     global _CLUSTER_STATE
     scenario = resolve_scenario(scenario)
-    # Warm the lazily built artifacts and per-CPU runtimes before
+    # Warm the lazily built artifacts and per-device runtimes before
     # forking so children inherit the compiled models, scheduling
     # profiles, cost models, and proxies by copy-on-write instead of
     # each rebuilding them privately.
     stack.ensure_compiled()
     for name in stack.model_names:
         stack.profiles[name]
-    for cpu in cluster_spec.cpu_specs:
-        stack.runtime_for(cpu)
+    for device in cluster_spec.device_specs:
+        stack.runtime_for(device)
     _CLUSTER_STATE = (stack, cluster_spec, router, admission, spec,
                       count, seed, scenario)
     try:
@@ -245,9 +245,10 @@ def sweep_autoscale(stack: ServingStack, static_spec: ClusterSpec,
         stack.ensure_compiled()
         for name in stack.model_names:
             stack.profiles[name]
-        for cpu_spec in set(initial_spec.cpu_specs + static_spec.cpu_specs
-                            + (policy.template.cpu,)):
-            stack.runtime_for(cpu_spec)
+        for device in set(initial_spec.device_specs
+                          + static_spec.device_specs
+                          + (policy.template.device,)):
+            stack.runtime_for(device)
         _AUTOSCALE_STATE = (stack, static_spec, initial_spec, policy,
                             router, admission, spec, count, seed)
         try:

@@ -73,7 +73,7 @@ class ClusterNode:
                  incremental: bool = True) -> None:
         self.index = index
         self.spec = spec
-        self.runtime = stack.runtime_for(spec.cpu)
+        self.runtime = stack.runtime_for(spec.device)
         self.engine = Engine(self.runtime.cost_model,
                              price_cache=self.runtime.price_cache,
                              incremental=incremental)
@@ -95,7 +95,16 @@ class ClusterNode:
 
     @property
     def cores(self) -> int:
-        return self.spec.cpu.cores
+        return self.spec.device.cores
+
+    @property
+    def width(self) -> int:
+        """The node's parallel width (cores or SMs) — routing units."""
+        return self.spec.device.parallel_width
+
+    @property
+    def device_kind(self) -> str:
+        return self.spec.device_kind
 
     @property
     def node_seconds(self) -> float:
@@ -164,10 +173,10 @@ class Cluster:
         """A warming node from the autoscale template, joined later.
 
         Reuses ``stack.runtime_for`` + the artifact store contract:
-        spin-up re-profiles for the template's CPU (memoised after the
-        first node of a width) but never recompiles.
+        spin-up re-profiles for the template's device (memoised after
+        the first node of a width) but never recompiles.
         """
-        spec = NodeSpec(name=name, cpu=self.autoscale.template.cpu,
+        spec = NodeSpec(name=name, device=self.autoscale.template.device,
                         policy=self.autoscale.template.policy)
         node = ClusterNode(len(all_nodes), spec, self.stack,
                            incremental=self.incremental)

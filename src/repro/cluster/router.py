@@ -13,6 +13,9 @@ simulator internals beyond what a monitoring agent could export.
 ``pressure_aware``   lowest predicted interference pressure, with a
                      width-normalised queue term and QoS-class urgency
                      weighting (the headline router)
+``device_affinity``  pressure_aware plus a learned per-(model, device
+                     kind) cost term — batch-friendly models drift to
+                     accelerators, latency-critical small models to CPUs
 ==================== =====================================================
 """
 
@@ -125,7 +128,10 @@ class PressureAwareRouter(Router):
         urgency = min(1.0, self.reference_qos_s / query.qos_s)
 
         def score(node) -> tuple[float, int]:
-            width = node.cores / self.reference_cores
+            # Parallel width, not "cores": on an accelerator node the
+            # allocation units are SMs, and normalising the backlog by
+            # anything else mis-ranks it against CPU members.
+            width = node.width / self.reference_cores
             depth = node.engine.outstanding / width
             value = ((1.0 + urgency) * node.pressure_estimate()
                      + self.queue_weight * depth)
@@ -134,9 +140,105 @@ class PressureAwareRouter(Router):
         return min(nodes, key=score)
 
 
+class DeviceAffinityRouter(PressureAwareRouter):
+    """``pressure_aware`` plus a learned per-(model, device-kind) cost.
+
+    Every completion the fleet produces is an observation of how well
+    one model fits one device kind: its end-to-end latency divided by
+    its QoS budget.  The router folds these into per-``(model, kind)``
+    EWMAs and adds the estimate — urgency-weighted, like the pressure
+    term — to the ``pressure_aware`` score::
+
+        score = affinity_weight * (1 + urgency) * cost
+                + pressure + queue_weight * depth
+
+    Batch-friendly models (wide layers that fill warps and SMs) observe
+    low normalised cost on accelerator nodes and drift there;
+    latency-critical small models observe warp-width waste and
+    occupancy stalls and drift back to CPUs — placement learned from
+    fleet telemetry, no static model→device table anywhere.
+
+    Until ``min_observations`` completions of a pair exist, the prior
+    is the node runtime's *isolated* profiled service time over the
+    query's budget — the offline per-device cost estimate — so cold
+    starts already route with the right sign.  Observation ingestion is
+    cursor-based over each node's completion log (a front-end tailing
+    its metrics stream) and strictly arrival-order driven, so routing
+    stays deterministic for a fixed stream.
+    """
+
+    name = "device_affinity"
+
+    def __init__(self, queue_weight: float = 0.5,
+                 reference_cores: int = 64,
+                 reference_qos_s: float = 0.015,
+                 affinity_weight: float = 1.0,
+                 alpha: float = 0.2,
+                 min_observations: int = 3) -> None:
+        super().__init__(queue_weight=queue_weight,
+                         reference_cores=reference_cores,
+                         reference_qos_s=reference_qos_s)
+        if affinity_weight < 0.0:
+            raise ValueError("affinity_weight must be non-negative")
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        if min_observations < 1:
+            raise ValueError("min_observations must be >= 1")
+        self.affinity_weight = affinity_weight
+        self.alpha = alpha
+        self.min_observations = min_observations
+        #: (model name, device kind) -> EWMA of latency / QoS budget.
+        self._cost: dict[tuple[str, str], float] = {}
+        self._counts: dict[tuple[str, str], int] = {}
+        #: Completion-log read cursors, keyed by node identity.
+        self._cursors: dict[tuple[int, str], int] = {}
+
+    def _ingest(self, nodes) -> None:
+        for node in nodes:
+            completed = node.engine.completed
+            cursor_key = (node.index, node.spec.name)
+            cursor = self._cursors.get(cursor_key, 0)
+            if cursor > len(completed):
+                cursor = 0  # fresh engine behind a reused router
+            kind = node.device_kind
+            for query in completed[cursor:]:
+                cost = (query.finished_s - query.arrival_s) / query.qos_s
+                key = (query.model.name, kind)
+                previous = self._cost.get(key)
+                self._cost[key] = (cost if previous is None
+                                   else previous
+                                   + self.alpha * (cost - previous))
+                self._counts[key] = self._counts.get(key, 0) + 1
+            self._cursors[cursor_key] = len(completed)
+
+    def _estimate(self, node, query) -> float:
+        key = (query.model.name, node.device_kind)
+        if self._counts.get(key, 0) >= self.min_observations:
+            return self._cost[key]
+        profile = node.runtime.profiles.get(query.model.name)
+        if profile is None:
+            return 1.0
+        return profile.isolated_service_s / query.qos_s
+
+    def choose(self, nodes, query, now: float):
+        self._ingest(nodes)
+        urgency = min(1.0, self.reference_qos_s / query.qos_s)
+
+        def score(node) -> tuple[float, int]:
+            width = node.width / self.reference_cores
+            depth = node.engine.outstanding / width
+            value = (self.affinity_weight * (1.0 + urgency)
+                     * self._estimate(node, query)
+                     + node.pressure_estimate()
+                     + self.queue_weight * depth)
+            return (value, node.index)
+
+        return min(nodes, key=score)
+
+
 #: Router registry, mirroring the policy table of ``ServingStack``.
 ROUTERS = ("round_robin", "least_outstanding", "join_shortest_queue",
-           "pressure_aware")
+           "pressure_aware", "device_affinity")
 
 
 def make_router(name: str, **kwargs) -> Router:
@@ -149,4 +251,6 @@ def make_router(name: str, **kwargs) -> Router:
         return JoinShortestQueueRouter(**kwargs)
     if name == "pressure_aware":
         return PressureAwareRouter(**kwargs)
+    if name == "device_affinity":
+        return DeviceAffinityRouter(**kwargs)
     raise ValueError(f"unknown router {name!r}; known: {ROUTERS}")

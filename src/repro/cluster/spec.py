@@ -1,10 +1,11 @@
-"""Fleet topology: which nodes exist, their CPUs, and their policies.
+"""Fleet topology: which nodes exist, their devices, and their policies.
 
 A :class:`ClusterSpec` is pure description — no engines, no state — so
 it is cheap to build, hashable, and safe to share across processes.
-Nodes may be heterogeneous (mixed :class:`CpuSpec` widths) and may run
-different scheduling policies; the serving artifacts behind them are
-always the *one* compile pass owned by the :class:`ServingStack`.
+Nodes may be heterogeneous (mixed :class:`CpuSpec` widths, or CPUs next
+to :class:`AcceleratorSpec` members) and may run different scheduling
+policies; the serving artifacts behind them are always the *one* compile
+pass owned by the :class:`ServingStack`.
 """
 
 from __future__ import annotations
@@ -12,31 +13,63 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.hardware.platform import (
+    DATACENTER_ACCEL_80,
     EDGE_NODE_32,
     PRODUCTION_SERVER_256,
     THREADRIPPER_3990X,
     CpuSpec,
+    DeviceSpec,
 )
 
 #: Default per-node scheduling policy.
 DEFAULT_NODE_POLICY = "veltair_full"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, init=False)
 class NodeSpec:
-    """One serving node: a CPU plus the local scheduling policy."""
+    """One serving node: a device plus the local scheduling policy.
+
+    ``device`` is the canonical field; the ``cpu=`` keyword and ``cpu``
+    property remain as compatibility aliases from the CPU-only era
+    (every pre-DeviceSpec call site keeps working unchanged).
+    """
 
     name: str
-    cpu: CpuSpec
+    device: DeviceSpec
     policy: str = DEFAULT_NODE_POLICY
+
+    def __init__(self, name: str = "", device: DeviceSpec | None = None,
+                 policy: str = DEFAULT_NODE_POLICY, *,
+                 cpu: CpuSpec | None = None) -> None:
+        if device is None:
+            device = cpu
+        elif cpu is not None and cpu != device:
+            raise ValueError(f"node {name!r} got conflicting device= "
+                             "and cpu= specs")
+        if device is None:
+            raise ValueError(f"node {name!r} needs a device (device= or "
+                             "the legacy cpu= alias)")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "device", device)
+        object.__setattr__(self, "policy", policy)
+        self.__post_init__()
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("node name must be non-empty")
 
     @property
+    def cpu(self) -> DeviceSpec:
+        """Legacy alias for :attr:`device`."""
+        return self.device
+
+    @property
     def cores(self) -> int:
-        return self.cpu.cores
+        return self.device.cores
+
+    @property
+    def device_kind(self) -> str:
+        return getattr(self.device, "kind", "cpu")
 
 
 @dataclass(frozen=True)
@@ -62,26 +95,42 @@ class ClusterSpec:
         return sum(node.cores for node in self.nodes)
 
     @property
-    def cpu_specs(self) -> tuple[CpuSpec, ...]:
-        """Distinct CPU specs in fleet order (runtime-sharing groups)."""
-        distinct: list[CpuSpec] = []
+    def device_specs(self) -> tuple[DeviceSpec, ...]:
+        """Distinct device specs in fleet order (runtime-sharing groups).
+
+        One membership probe per node against a seen-set — O(nodes) —
+        where the old list scan went quadratic on large autoscaled
+        fleets.
+        """
+        distinct: list[DeviceSpec] = []
+        seen: set[DeviceSpec] = set()
         for node in self.nodes:
-            if node.cpu not in distinct:
-                distinct.append(node.cpu)
+            if node.device not in seen:
+                seen.add(node.device)
+                distinct.append(node.device)
         return tuple(distinct)
+
+    @property
+    def cpu_specs(self) -> tuple[DeviceSpec, ...]:
+        """Deprecated alias for :attr:`device_specs`."""
+        return self.device_specs
 
 
 def homogeneous(count: int, cpu: CpuSpec | None = None,
                 policy: str = DEFAULT_NODE_POLICY,
-                name: str | None = None) -> ClusterSpec:
+                name: str | None = None,
+                device: DeviceSpec | None = None) -> ClusterSpec:
     """``count`` identical nodes (default: the paper's 64-core testbed)."""
     if count <= 0:
         raise ValueError("node count must be positive")
-    cpu = cpu if cpu is not None else THREADRIPPER_3990X
-    label = name or f"{count}x{cpu.cores}c"
+    if device is not None and cpu is not None and cpu != device:
+        raise ValueError("pass either device= or the legacy cpu= alias")
+    device = device if device is not None else cpu
+    device = device if device is not None else THREADRIPPER_3990X
+    label = name or f"{count}x{device.cores}c"
     return ClusterSpec(
         name=label,
-        nodes=tuple(NodeSpec(name=f"node{i}", cpu=cpu, policy=policy)
+        nodes=tuple(NodeSpec(name=f"node{i}", device=device, policy=policy)
                     for i in range(count)))
 
 
@@ -100,5 +149,24 @@ def mixed_fleet(policy: str = DEFAULT_NODE_POLICY) -> ClusterSpec:
             NodeSpec(name="worker0", cpu=THREADRIPPER_3990X, policy=policy),
             NodeSpec(name="worker1", cpu=THREADRIPPER_3990X, policy=policy),
             NodeSpec(name="big0", cpu=PRODUCTION_SERVER_256, policy=policy),
+            NodeSpec(name="edge0", cpu=EDGE_NODE_32, policy=policy),
+        ))
+
+
+def hetero_fleet(policy: str = DEFAULT_NODE_POLICY) -> ClusterSpec:
+    """The mixed CPU+accelerator reference fleet.
+
+    Two testbed CPUs, one 80-SM accelerator, and one 32-core edge node.
+    The accelerator dominates raw throughput but pays warp-width and
+    occupancy penalties on skinny latency-critical models — the cost
+    asymmetry the ``device_affinity`` router learns to exploit.
+    """
+    return ClusterSpec(
+        name="hetero-4",
+        nodes=(
+            NodeSpec(name="worker0", cpu=THREADRIPPER_3990X, policy=policy),
+            NodeSpec(name="worker1", cpu=THREADRIPPER_3990X, policy=policy),
+            NodeSpec(name="accel0", device=DATACENTER_ACCEL_80,
+                     policy=policy),
             NodeSpec(name="edge0", cpu=EDGE_NODE_32, policy=policy),
         ))

@@ -81,7 +81,7 @@ def compiler_context(single_pass: SinglePassCompiler) -> dict:
     """
     cost_model = single_pass.cost_model
     scheduler = single_pass.scheduler
-    return {
+    context = {
         "schema": ARTIFACT_SCHEMA,
         "cpu": dataclasses.asdict(cost_model.cpu),
         "params": dataclasses.asdict(cost_model.params),
@@ -94,6 +94,13 @@ def compiler_context(single_pass: SinglePassCompiler) -> dict:
         "population": scheduler.population,
         "elite_fraction": scheduler.elite_fraction,
     }
+    # Non-CPU device kinds join the key under their own name.  CPU
+    # contexts stay byte-identical to the pre-DeviceSpec schema, so
+    # every artifact a CPU store already holds keeps hitting.
+    kind = getattr(cost_model.cpu, "kind", "cpu")
+    if kind != "cpu":
+        context["device_kind"] = kind
+    return context
 
 
 def context_fingerprint(context: dict) -> str:

@@ -30,6 +30,18 @@ function calibrated to the paper's measurements (Fig. 1b, Fig. 6a):
 
 All latencies are seconds; ``interference`` is the system pressure level
 in ``[0, 1]`` (paper Sec. 4.3 "interference pressure level").
+
+**Device kinds.**  The model binds to any
+:class:`~repro.hardware.platform.DeviceSpec`.  The CPU path is the
+calibrated original, bit-for-bit: every constant a CPU execution reads
+resolves to the same :class:`CostModelParams` field through the same
+expressions.  An :class:`~repro.hardware.platform.AcceleratorSpec`
+swaps in the SM/streams economics — warp-width (``simt_lanes``) lane
+utilisation instead of the schedule's vector width, an occupancy ramp
+that keeps under-parallelised kernels off peak (the batch-friendly
+throughput curve), stream/kernel launch costs, and the accelerator's
+own contention sensitivities (HBM bandwidth contended by resident
+streams, device-L2 reuse less load-bearing than CPU LLC reuse).
 """
 
 from __future__ import annotations
@@ -38,7 +50,7 @@ import math
 from dataclasses import dataclass
 
 from repro.config import CACHE_LINE_BYTES, FP32_BYTES
-from repro.hardware.platform import CpuSpec
+from repro.hardware.platform import CpuSpec, DeviceSpec
 from repro.models.layers import LayerSpec
 from repro.compiler.schedule import Schedule, num_tiles
 
@@ -129,13 +141,55 @@ class _Profile:
 
 
 class CostModel:
-    """Latency and traffic model bound to one CPU platform."""
+    """Latency and traffic model bound to one device platform.
 
-    def __init__(self, cpu: CpuSpec,
+    ``cpu`` accepts any :class:`DeviceSpec`; the attribute keeps its
+    historical name because every consumer reads ``cost_model.cpu``
+    (``device`` is an alias).  Contention constants are resolved once at
+    construction: the CPU kind reads them from :class:`CostModelParams`
+    (whose field set is frozen into the artifact key schema), the
+    accelerator kind from its own spec fields.
+    """
+
+    def __init__(self, cpu: CpuSpec | DeviceSpec,
                  params: CostModelParams | None = None) -> None:
         self.cpu = cpu
+        self.device = cpu
+        self.kind = getattr(cpu, "kind", "cpu")
         self.params = params or CostModelParams()
         self._memo: dict[tuple, CostBreakdown] = {}
+        self._accel = self.kind == "accelerator"
+        p = self.params
+        if self._accel:
+            self._cache_sensitivity = cpu.cache_sensitivity
+            self._bw_sensitivity = cpu.bw_sensitivity
+            self._cache_vuln_ref = cpu.cache_vuln_ref_bytes
+            self._bw_defense_max = cpu.bw_defense_max
+            self._dram_saturation = cpu.dram_saturation_units
+            self._mlp_per_unit = cpu.mlp_per_unit
+            self._max_mlp = cpu.max_mlp
+            self._sync_tax = cpu.sync_tax_per_unit
+        else:
+            self._cache_sensitivity = p.cache_sensitivity
+            self._bw_sensitivity = p.bw_sensitivity
+            self._cache_vuln_ref = p.cache_vuln_ref_bytes
+            self._bw_defense_max = p.bw_defense_max
+            self._dram_saturation = p.dram_saturation_cores
+            self._mlp_per_unit = p.mlp_per_core
+            self._max_mlp = p.max_mlp
+            self._sync_tax = p.sync_tax_per_core
+
+    @property
+    def launch_s(self) -> float:
+        """Per-kernel launch cost for this device kind.
+
+        The CPU reads :attr:`CostModelParams.layer_launch_s` (the
+        paper's constant); the accelerator its own ``kernel_launch_s``.
+        Every per-layer launch charge goes through here.
+        """
+        if self._accel:
+            return self.device.kernel_launch_s
+        return self.params.layer_launch_s
 
     # ------------------------------------------------------------------
     # schedule profile
@@ -144,7 +198,11 @@ class CostModel:
     def _per_core_rate(self, layer: LayerSpec, schedule: Schedule) -> float:
         """Sustained flops/s of one core running this schedule."""
         gemm = layer.gemm
-        lanes = schedule.vector_lanes
+        # On the accelerator the lane count is the warp width: all
+        # ``simt_lanes`` lanes execute in lockstep, so skinny extents
+        # waste lanes regardless of the schedule's CPU vector width.
+        lanes = (self.device.simt_lanes if self._accel
+                 else schedule.vector_lanes)
         # Vectorize along N when it is wide enough, else along M
         # (element-wise and depthwise layers have N == 1).
         vec_extent = schedule.tile_n if gemm.n >= lanes else schedule.tile_m
@@ -197,9 +255,17 @@ class CostModel:
         rate = self._per_core_rate(layer, schedule)
         rounds = math.ceil(chunks / cores_used)
         imbalance = (chunks / cores_used) / rounds
-        sync = 1.0 + self.params.sync_tax_per_core * (cores_used - 1)
+        sync = 1.0 + self._sync_tax * (cores_used - 1)
         compute_s = (layer.flops * sync
                      / (cores_used * rate * imbalance))
+        if self._accel:
+            # Occupancy ramp: an SM needs several resident blocks to
+            # hide latency, so kernels exposing few parallel chunks per
+            # SM run well below peak — the batch-friendly throughput
+            # curve that makes skinny low-batch layers a poor fit.
+            occ = min(1.0, chunks / (cores_used * self.device.occupancy_ramp))
+            floor = self.device.min_occupancy_rate
+            compute_s /= floor + (1.0 - floor) * occ
 
         compulsory = float(layer.data_bytes)
         tm2, tn2, tk2 = self._l2_tiles(schedule)
@@ -258,9 +324,9 @@ class CostModel:
         # In isolation the LLC serves all re-read traffic (single-layer hot
         # sets fit a 256 MB LLC), so DRAM sees compulsory traffic only.
         bw = (cpu.dram.bandwidth_bytes_per_s
-              * min(1.0, cores_used / p.dram_saturation_cores))
+              * min(1.0, cores_used / self._dram_saturation))
         bandwidth_s = prof.compulsory / bw
-        mlp = min(cores_used * p.mlp_per_core, p.max_mlp)
+        mlp = min(cores_used * self._mlp_per_unit, self._max_mlp)
         latency_s = ((prof.compulsory / CACHE_LINE_BYTES)
                      * p.miss_latency_s / mlp)
         dram_s = max(bandwidth_s, latency_s)
@@ -275,12 +341,12 @@ class CostModel:
         # --- contention scaling -------------------------------------------
         reuse_fraction = max(0.0, (prof.beyond_l2 - prof.compulsory)
                              / prof.beyond_l2)
-        vuln_cache = min(1.0, prof.hot_bytes / p.cache_vuln_ref_bytes)
+        vuln_cache = min(1.0, prof.hot_bytes / self._cache_vuln_ref)
         mem_fraction = mem_s / (mem_s + prof.compute_s)
-        defense = p.bw_defense_max * math.sqrt(cores_used / cpu.cores)
+        defense = self._bw_defense_max * math.sqrt(cores_used / cpu.cores)
         slowdown = 1.0 + interference * (
-            p.cache_sensitivity * vuln_cache * reuse_fraction
-            + p.bw_sensitivity * mem_fraction * (1.0 - defense))
+            self._cache_sensitivity * vuln_cache * reuse_fraction
+            + self._bw_sensitivity * mem_fraction * (1.0 - defense))
         total_s = iso_s * slowdown
 
         # --- counter-visible traffic -----------------------------------------
@@ -312,8 +378,12 @@ class CostModel:
 
         Charged once per scheduling unit.  Worker threads are pooled, so
         this is a wake-and-park handoff, much cheaper than creating
-        threads.
+        threads.  The accelerator pays a stream-dispatch cost instead:
+        pushing work onto a stream is pricier than waking a pooled
+        thread, but grows slower with the grant width.
         """
+        if self._accel:
+            return self.device.stream_launch_s + 1.0e-6 * max(0, cores)
         return 15e-6 + 1.2e-6 * max(0, cores)
 
     def expand_overhead(self, extra_cores: int) -> float:

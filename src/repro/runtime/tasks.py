@@ -61,7 +61,7 @@ def block_duration(cost_model: CostModel, query: Query, start: int,
         raise ValueError(f"bad block range [{start}, {stop})")
     if len(versions) != stop - start:
         raise ValueError("one version per layer required")
-    launch = cost_model.params.layer_launch_s
+    launch = cost_model.launch_s
     total = cost_model.spawn_overhead(cores)
     graph_layers = query.model.graph.layers
     for offset, layer_index in enumerate(range(start, stop)):

@@ -13,6 +13,7 @@ from repro.scheduling.dynamic_block import (
 )
 from repro.scheduling.fcfs_model import ModelWiseFcfs
 from repro.scheduling.fixed_block import FixedBlockScheduler
+from repro.scheduling.gacer import GacerScheduler
 from repro.scheduling.layerwise import (
     AdaptiveCompilationOnly,
     LayerWiseScheduler,
@@ -24,7 +25,7 @@ __all__ = [
     "BlockPlan", "ModelProfile", "SpatialScheduler",
     "block_required_cores", "build_profile",
     "DynamicBlockScheduler", "ProportionalThresholdPolicy",
-    "ModelWiseFcfs", "FixedBlockScheduler",
+    "ModelWiseFcfs", "FixedBlockScheduler", "GacerScheduler",
     "AdaptiveCompilationOnly", "LayerWiseScheduler",
     "PremaScheduler", "VeltairScheduler",
 ]

@@ -36,6 +36,10 @@ class ModelProfile:
     avg_cores: int
     #: Cores for the whole model to meet QoS as one unit (model-wise FCFS).
     model_cores: int
+    #: Uncontended end-to-end service time at the provisioned per-layer
+    #: core grants — the per-device cost prior the affinity router seeds
+    #: its placement estimates with before observations arrive.
+    isolated_service_s: float = 0.0
 
 
 def build_profile(cost_model: CostModel,
@@ -43,7 +47,7 @@ def build_profile(cost_model: CostModel,
     """Profile a compiled model for scheduling (paper Sec. 4.2 inputs)."""
     versions = tuple(entry.static_version() for entry in compiled.layers)
     budgets = tuple(entry.qos_budget_s for entry in compiled.layers)
-    launch = cost_model.params.layer_launch_s
+    launch = cost_model.launch_s
     required = []
     durations = []
     for layer, version, budget in zip(compiled.graph.layers, versions,
@@ -74,13 +78,14 @@ def build_profile(cost_model: CostModel,
         layer_required_cores=tuple(required),
         avg_cores=avg_cores,
         model_cores=model_cores,
+        isolated_service_s=total_time,
     )
 
 
 def _model_required_cores(cost_model: CostModel, compiled: CompiledModel,
                           versions: tuple[Schedule, ...]) -> int:
     """Minimal fixed core count for the whole model to meet its QoS."""
-    launch = cost_model.params.layer_launch_s
+    launch = cost_model.launch_s
     target = compiled.qos_s * 0.85  # align with the layer-budget margin
 
     def model_latency(cores: int) -> float:

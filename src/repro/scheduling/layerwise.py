@@ -92,7 +92,7 @@ class AdaptiveCompilationOnly(LayerWiseScheduler):
                pressure)
         cached = self._required_cache.get(key)
         if cached is None:
-            launch = self.cost_model.params.layer_launch_s
+            launch = self.cost_model.launch_s
             budget = max(profile.layer_budgets_s[index] - launch, 1e-7)
             cached = self.cost_model.required_cores(layer, version, budget,
                                                     pressure)

@@ -13,6 +13,7 @@ simulations stay independent.  Policies are addressed by name:
 ``veltair_as``            adaptive scheduling only (dynamic blocks)
 ``veltair_ac``            adaptive compilation only (layer-wise units)
 ``veltair_full``          full VELTAIR (Alg. 3)
+``gacer``                 GACER-style granularity-aware concurrency regulation
 ========================  ====================================================
 """
 
@@ -24,7 +25,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.config import DEFAULT_SEED
-from repro.hardware.platform import THREADRIPPER_3990X, CpuSpec
+from repro.hardware.platform import THREADRIPPER_3990X, CpuSpec, DeviceSpec
 from repro.compiler.artifacts import ArtifactStore, resolve_store
 from repro.compiler.costmodel import CostModel, CostModelParams
 from repro.compiler.library import CompiledModel, ModelCompiler
@@ -45,6 +46,7 @@ from repro.scheduling.dynamic_block import (
 )
 from repro.scheduling.fcfs_model import ModelWiseFcfs
 from repro.scheduling.fixed_block import FixedBlockScheduler
+from repro.scheduling.gacer import GacerScheduler
 from repro.scheduling.layerwise import (
     AdaptiveCompilationOnly,
     LayerWiseScheduler,
@@ -59,29 +61,39 @@ from repro.serving.workload import (
 )
 
 POLICIES = ("model_fcfs", "layerwise", "prema", "block6", "block11",
-            "veltair_as", "veltair_ac", "veltair_full")
+            "veltair_as", "veltair_ac", "veltair_full", "gacer")
 
 
 @dataclass(frozen=True)
 class NodeRuntime:
-    """Per-CPU serving artifacts derived from one shared compile pass.
+    """Per-device serving artifacts derived from one shared compile pass.
 
     A cluster deploys the stack's compiled libraries on nodes of
-    possibly different widths.  The compiled *schedules* are machine
-    descriptions and port as-is; what must be rebuilt per CPU spec is
-    everything calibrated against one machine — the cost model itself,
-    the scheduling profiles (core requirements change with machine
-    width), the pricing cache (prices are bound to one cost model), and
-    the interference proxy (counter magnitudes do not port across
-    specs).  Nodes with the same :class:`CpuSpec` share one runtime, so
-    a homogeneous fleet shares a single warm pricing cache.
+    possibly different widths and kinds.  The compiled *schedules* are
+    machine descriptions and port as-is; what must be rebuilt per device
+    spec is everything calibrated against one machine — the cost model
+    itself, the scheduling profiles (unit requirements change with
+    machine width and device economics), the pricing cache (prices are
+    bound to one cost model), and the interference proxy (counter
+    magnitudes do not port across specs).  Nodes with the same
+    :class:`DeviceSpec` share one runtime, so a homogeneous fleet shares
+    a single warm pricing cache.  The field keeps its historical ``cpu``
+    name; ``device`` is the kind-neutral alias.
     """
 
-    cpu: CpuSpec
+    cpu: CpuSpec | DeviceSpec
     cost_model: CostModel
     price_cache: PricingCache
     profiles: dict[str, ModelProfile]
     proxy: LinearInterferenceProxy | None
+
+    @property
+    def device(self) -> CpuSpec | DeviceSpec:
+        return self.cpu
+
+    @property
+    def device_kind(self) -> str:
+        return getattr(self.cpu, "kind", "cpu")
 
 
 class _LazyArtifacts(Mapping):
@@ -190,8 +202,8 @@ class ServingStack:
         self._proxy_scenarios = proxy_scenarios
         self._use_proxy = use_proxy
 
-        #: Per-CpuSpec runtimes derived from the one compile pass above.
-        self._runtimes: dict[CpuSpec, NodeRuntime] = {}
+        #: Per-DeviceSpec runtimes derived from the one compile pass above.
+        self._runtimes: dict[CpuSpec | DeviceSpec, NodeRuntime] = {}
 
     # ------------------------------------------------------------------
     # lazy artifact construction
@@ -253,16 +265,18 @@ class ServingStack:
 
     # ------------------------------------------------------------------
 
-    def runtime_for(self, cpu: CpuSpec | None = None) -> NodeRuntime:
-        """Serving artifacts for one node CPU — compile once, re-profile.
+    def runtime_for(self,
+                    cpu: CpuSpec | DeviceSpec | None = None) -> NodeRuntime:
+        """Serving artifacts for one node device — compile once, re-profile.
 
-        The stack's own CPU (or ``None``) returns a view over the
+        The stack's own device (or ``None``) returns a view over the
         stack's existing cost model, profiles, and shared pricing cache.
-        A different :class:`CpuSpec` gets its own cost model, freshly
-        built profiles, and a pricing cache of its own (prices do not
-        port across machines) — but the *compiled* multi-version
-        libraries are shared untouched, so a whole heterogeneous fleet
-        rides on a single compile pass.  Runtimes are memoised per spec.
+        A different :class:`DeviceSpec` — another CPU width or an
+        accelerator — gets its own cost model, freshly built profiles,
+        and a pricing cache of its own (prices do not port across
+        machines) — but the *compiled* multi-version libraries are
+        shared untouched, so a whole heterogeneous fleet rides on a
+        single compile pass.  Runtimes are memoised per spec.
         """
         cpu = cpu if cpu is not None else self.cpu
         runtime = self._runtimes.get(cpu)
@@ -310,6 +324,10 @@ class ServingStack:
                 plan_cache_entries=self.plan_cache_entries)
         if policy == "veltair_as":
             return DynamicBlockScheduler(
+                cost_model, profiles,
+                plan_cache_entries=self.plan_cache_entries)
+        if policy == "gacer":
+            return GacerScheduler(
                 cost_model, profiles,
                 plan_cache_entries=self.plan_cache_entries)
         # Only the proxy-driven policies read the proxy — referencing
@@ -369,7 +387,7 @@ class ServingStack:
         compiled = self.compiled[name]
         profile = self.profiles[name]
         cores = cores if cores is not None else self.cpu.cores
-        launch = self.cost_model.params.layer_launch_s
+        launch = self.cost_model.launch_s
         total = self.cost_model.spawn_overhead(cores)
         for layer, version in zip(compiled.graph.layers,
                                   profile.static_versions):

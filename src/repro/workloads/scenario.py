@@ -184,5 +184,18 @@ register_scenario(ScenarioSpec(
                                width_frac=0.25),
     workload=full_mix(),
     qos_scale=(("heavy", 1.5),)))
+# Throughput-dominated mix with a latency-critical minority: the
+# heterogeneous-fleet benchmark's scenario.  Batch-friendly heavies
+# carry most of the load (and get a relaxed deadline — offline/batch
+# traffic), while the light model keeps a hard real-time QoS, so
+# placement quality (which device kind serves whom) decides capacity.
+register_scenario(ScenarioSpec(
+    name="batch_heavy",
+    arrival=PoissonArrivals(),
+    workload=WorkloadSpec(name="batch_heavy",
+                          entries=(("ssd_resnet34", 3.0),
+                                   ("resnet50", 1.5),
+                                   ("mobilenet_v2", 2.0))),
+    qos_scale=(("heavy", 1.25),)))
 
 SCENARIO_NAMES = tuple(scenario_names())

@@ -70,6 +70,7 @@ class _StubNode:
                  running: int = 0, pressure: float = 0.0) -> None:
         self.index = index
         self.cores = cores
+        self.width = cores
         self.engine = _StubEngine(queued, running)
         self._pressure = pressure
 
