@@ -13,6 +13,7 @@ import os
 
 from repro.serving import LIGHT_MIX, ServingStack, poisson_queries
 from repro.serving.metrics import summarize
+from repro.telemetry import save_env_trace, tracer_from_env
 
 TRIALS = int(os.environ.get("REPRO_EXAMPLE_TRIALS", "192"))
 QUERIES = int(os.environ.get("REPRO_EXAMPLE_QUERIES", "300"))
@@ -33,10 +34,17 @@ def main() -> None:
     qps = 220.0
     print(f"\nServing {QUERIES} queries at {qps:.0f} QPS "
           f"(Poisson arrivals, QoS per MLPerf Table 2)...")
+    # Set REPRO_TRACE_DIR to record the veltair_full run's telemetry
+    # (per-query spans, block spans, scheduler decisions) — free when
+    # unset, and results are bit-identical either way.
+    tracer = tracer_from_env(run_id="quickstart",
+                             meta={"qps": qps, "queries": QUERIES})
     for policy in ("layerwise", "veltair_full"):
         queries = poisson_queries(stack.compiled, LIGHT_MIX, qps, QUERIES,
                                   seed=42)
-        completed, engine = stack.run(policy, queries)
+        completed, engine = stack.run(
+            policy, queries,
+            tracer=tracer if policy == "veltair_full" else None)
         report = summarize(completed, engine.metrics, qps)
         print(f"  {policy:14s} "
               f"QoS satisfaction={report.satisfaction_rate:.1%}  "
@@ -45,6 +53,10 @@ def main() -> None:
 
     print("\nVELTAIR's adaptive blocks + interference-matched code "
           "versions keep QoS where the fixed baseline collapses.")
+    trace_path = save_env_trace(tracer)
+    if trace_path is not None:
+        print(f"trace written to {trace_path} — inspect with "
+              f"`python -m repro.telemetry summarize {trace_path}`")
 
 
 if __name__ == "__main__":

@@ -11,6 +11,8 @@ Quick suite (what CI ratchets on, ``--quick``):
 * ``engine_scale`` / ``cluster_scale`` — the standalone scale gauges.
 * ``hetero_fleet``      — mixed CPU+accelerator fleet: capacity vs
   CPU-only, device-affinity routing, accelerator scheduler A/B.
+* ``telemetry_overhead`` — null-tracer overhead bound, tracing on/off
+  report bit-identity, summarize-reproduces-report exactness.
 
 Full suite adds every paper figure (``benchmarks/bench_fig*.py``, run
 through pytest; their ``record(...)`` calls write the JSON results).
@@ -364,6 +366,25 @@ register_benchmark(Benchmark(
                 "affinity_ge_pressure": _EXACT,
                 "affinity_deterministic": _EXACT},
     default_tolerance=Tolerance(rel=0.30, abs=10.0)))
+register_benchmark(Benchmark(
+    name="telemetry_overhead", kind="script", quick=True,
+    description="null-tracer overhead bound; tracing on/off report "
+                "bit-identity; summarize-reproduces-report exactness",
+    path="bench_telemetry_overhead.py",
+    tolerances={
+        # The telemetry contracts: pass/fail, ratcheted exactly.
+        "reports_identical_on_off": _EXACT,
+        "cluster_identical_on_off": _EXACT,
+        "summarize_matches_report": _EXACT,
+        "trace_wellformed": _EXACT,
+        "null_overhead_le_2pct": _EXACT,
+        # Emission volume is deterministic for a fixed stream.
+        "records_per_query": Tolerance(rel=0.0, abs=1e-9),
+        "guard_evaluations": Tolerance(rel=0.0, abs=1e-9),
+        # Machine-dependent bound; the <=2% gate above is the ratchet.
+        "null_overhead_pct": Tolerance(rel=0.0, abs=100.0),
+    },
+    default_tolerance=Tolerance(rel=0.30, abs=0.5)))
 register_benchmark(Benchmark(
     name="autoscale", kind="script", quick=True,
     description="elastic fleet vs static peak: QoS ratio and "

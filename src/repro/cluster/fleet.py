@@ -52,6 +52,7 @@ from repro.cluster.spec import ClusterSpec, NodeSpec
 from repro.interference.proxy import estimate_system_pressure
 from repro.runtime.engine import Engine
 from repro.runtime.tasks import Query
+from repro.telemetry.tracer import FLEET_SIGNAL_FIELDS
 from repro.serving.metrics import summarize
 from repro.serving.server import ServingStack
 from repro.serving.workload import (
@@ -67,16 +68,23 @@ _JOIN = "join"
 
 
 class ClusterNode:
-    """One fleet member: an engine + local policy over shared artifacts."""
+    """One fleet member: an engine + local policy over shared artifacts.
+
+    ``tracer`` (a :class:`repro.telemetry.Tracer`) is bound to the
+    node's name, so this node's block/query spans and scheduler events
+    land in the shared fleet stream already stamped with the node.
+    """
 
     def __init__(self, index: int, spec: NodeSpec, stack: ServingStack,
-                 incremental: bool = True) -> None:
+                 incremental: bool = True, tracer=None) -> None:
         self.index = index
         self.spec = spec
         self.runtime = stack.runtime_for(spec.device)
         self.engine = Engine(self.runtime.cost_model,
                              price_cache=self.runtime.price_cache,
-                             incremental=incremental)
+                             incremental=incremental,
+                             tracer=(tracer.bind(spec.name)
+                                     if tracer is not None else None))
         self.scheduler = stack.make_scheduler(spec.policy,
                                               runtime=self.runtime)
         self.engine.begin([], self.scheduler)
@@ -158,9 +166,9 @@ class Cluster:
         #: The most recent serve's autoscale controller (tick signals).
         self.last_autoscale: AutoscaleController | None = None
 
-    def _build_nodes(self) -> list[ClusterNode]:
+    def _build_nodes(self, tracer=None) -> list[ClusterNode]:
         return [ClusterNode(index, node_spec, self.stack,
-                            incremental=self.incremental)
+                            incremental=self.incremental, tracer=tracer)
                 for index, node_spec in enumerate(self.spec.nodes)]
 
     def _build_router(self) -> Router:
@@ -169,7 +177,7 @@ class Cluster:
         return make_router(self.router)
 
     def _provision(self, all_nodes: list[ClusterNode], name: str,
-                   now: float) -> ClusterNode:
+                   now: float, tracer=None) -> ClusterNode:
         """A warming node from the autoscale template, joined later.
 
         Reuses ``stack.runtime_for`` + the artifact store contract:
@@ -179,7 +187,7 @@ class Cluster:
         spec = NodeSpec(name=name, device=self.autoscale.template.device,
                         policy=self.autoscale.template.policy)
         node = ClusterNode(len(all_nodes), spec, self.stack,
-                           incremental=self.incremental)
+                           incremental=self.incremental, tracer=tracer)
         node.state = WARMING
         node.provisioned_s = now
         all_nodes.append(node)
@@ -223,12 +231,23 @@ class Cluster:
             cls._retire(node, routable, timeline)
 
     def serve(self, queries: list[Query],
-              offered_qps: float | None = None) -> ClusterReport:
-        """Route and co-simulate one query stream; returns the rollup."""
+              offered_qps: float | None = None,
+              tracer=None) -> ClusterReport:
+        """Route and co-simulate one query stream; returns the rollup.
+
+        ``tracer`` (a :class:`repro.telemetry.Tracer`) records the whole
+        fleet into one stream: per-node engine spans, routing choices
+        (with per-node scores for score-based routers), admission
+        verdicts, the scaling timeline, and the autoscale controller's
+        per-tick ``fleet.signals`` counters.  Observational only — the
+        rollup is bit-identical with tracing on or off.
+        """
         if not queries:
             raise ValueError("cannot serve an empty stream")
-        nodes = self._build_nodes()
+        nodes = self._build_nodes(tracer)
         router = self._build_router()
+        #: Score-based routers publish per-node scores when this is set.
+        router.tracer = tracer
         controller = (AdmissionController(self.admission)
                       if self.admission is not None else None)
         scaler = (AutoscaleController(self.autoscale)
@@ -280,7 +299,7 @@ class Cluster:
                 if pending_offers > 0:
                     self._autoscale_tick(scaler, all_nodes, routable,
                                          timeline, events, seq,
-                                         auto_names, now)
+                                         auto_names, now, tracer=tracer)
                     heapq.heappush(
                         events, (now + self.autoscale.tick_s, next(seq),
                                  _TICK, None))
@@ -306,11 +325,27 @@ class Cluster:
                         (now + controller.policy.defer_s, next(seq),
                          _OFFER, (attempts + 1, query)))
                     pending_offers += 1
+                    if tracer is not None:
+                        tracer.event("admission.defer", now, cat="cluster",
+                                     qid=query.query_id,
+                                     args={"attempts": attempts})
                     continue
                 if decision != ADMIT:
                     shed.append(query)
+                    if tracer is not None:
+                        tracer.event("admission.shed", now, cat="cluster",
+                                     qid=query.query_id,
+                                     args={"attempts": attempts})
                     continue
             node = router.choose(routable, query, now)
+            if tracer is not None:
+                args = {"node": node.spec.name, "attempts": attempts}
+                if router.last_scores is not None:
+                    args["scores"] = router.last_scores
+                    router.last_scores = None
+                tracer.event("route", now, cat="cluster",
+                             node=node.spec.name, qid=query.query_id,
+                             args=args)
             node.engine.submit(query, at=now)
             node.assigned += 1
             # Process the arrival at its own instant so the next offer
@@ -356,6 +391,28 @@ class Cluster:
                                offered_qps * share)
             node_results.append((node, completed, report))
 
+        if tracer is not None:
+            # The scaling timeline and the controller's per-tick signals
+            # are appended once the serve loop has finished — identical
+            # data to inline emission, and the controller itself stays
+            # untouched by telemetry.  The fleet.signals counters follow
+            # repro.telemetry.FLEET_SIGNAL_FIELDS, making a recorded
+            # trace double as an offline training set for learned
+            # routers (one sample per control tick, with the scale.*
+            # decisions interleaved by timestamp).
+            for event in timeline:
+                args = {"live_nodes": event.live_nodes}
+                if event.reason:
+                    args["reason"] = event.reason
+                tracer.event(f"scale.{event.action}", event.time_s,
+                             cat="autoscale", node=event.node, args=args)
+            if scaler is not None:
+                for signal in scaler.signals:
+                    tracer.counter(
+                        "fleet.signals", signal.time_s,
+                        {field: getattr(signal, field)
+                         for field in FLEET_SIGNAL_FIELDS})
+
         self.last_nodes = all_nodes
         self.last_autoscale = scaler
         return rollup(
@@ -369,7 +426,8 @@ class Cluster:
                         all_nodes: list[ClusterNode],
                         routable: list[ClusterNode],
                         timeline: list[ScalingEvent], events: list,
-                        seq, auto_names, now: float) -> None:
+                        seq, auto_names, now: float,
+                        tracer=None) -> None:
         """One control tick: feed the SLO window, maybe resize the fleet."""
         for node in all_nodes:
             completed = node.engine.completed
@@ -381,7 +439,7 @@ class Cluster:
         if delta > 0:
             for _ in range(delta):
                 name = f"{self.autoscale.template.name}-{next(auto_names)}"
-                node = self._provision(all_nodes, name, now)
+                node = self._provision(all_nodes, name, now, tracer=tracer)
                 timeline.append(ScalingEvent(
                     time_s=now, action=PROVISION, node=name,
                     live_nodes=len(routable), reason=scaler.reason()))
@@ -403,13 +461,15 @@ class Cluster:
                 self._retire(victim, routable, timeline)
 
     def report(self, spec: WorkloadSpec, qps: float, count: int,
-               seed: int | None = None, scenario=None) -> ClusterReport:
+               seed: int | None = None, scenario=None,
+               tracer=None) -> ClusterReport:
         """Generate a stream, serve it fleet-wide, summarise.
 
         Default arrivals are the stationary Poisson stream; a
         ``scenario`` (:class:`repro.workloads.ScenarioSpec` or
         registered name) swaps in any trace-driven shape at mean rate
         ``qps`` — the fleet twin of ``ServingStack.report``.
+        ``tracer`` records the serve (see :meth:`serve`).
         """
         effective_seed = self.stack.seed if seed is None else seed
         if scenario is not None:
@@ -419,4 +479,4 @@ class Cluster:
         else:
             queries = poisson_queries(self.stack.compiled, spec, qps,
                                       count, seed=effective_seed)
-        return self.serve(queries, offered_qps=qps)
+        return self.serve(queries, offered_qps=qps, tracer=tracer)

@@ -24,18 +24,27 @@ class NodeReport:
     """One node's share of a fleet run."""
 
     name: str
-    cpu_name: str
+    #: The node's device (CPU or accelerator) spec name — hetero fleets
+    #: report each member's actual hardware, not a CPU-alias view.
+    device_name: str
     cores: int
     policy: str
     assigned: int
     completed: int
     satisfied: int
     report: ServingReport
+    #: ``"cpu"`` / ``"accelerator"`` — the device family this node runs.
+    device_kind: str = "cpu"
     #: Lifecycle (autoscaled fleets; static members span the whole run).
     provisioned_s: float = 0.0
     retired_s: float = 0.0
     node_seconds: float = 0.0
     final_state: str = "live"
+
+    @property
+    def cpu_name(self) -> str:
+        """Deprecated alias for :attr:`device_name` (pre-hetero name)."""
+        return self.device_name
 
     @property
     def satisfaction_rate(self) -> float:
@@ -64,7 +73,11 @@ class ClusterReport:
     average_latency_s: float
     p99_latency_s: float
     #: P99 latency per workload class (light/medium/heavy), completed
-    #: queries only; classes absent from the stream are omitted.
+    #: queries only; classes absent from the stream are omitted.  This
+    #: is the aggregate view — to see *where* a class's tail comes from
+    #: (queue vs execute vs interference stall), record the serve with
+    #: a tracer and run ``python -m repro.telemetry summarize`` for the
+    #: per-phase, per-model breakdown.
     class_p99_s: tuple[tuple[str, float], ...]
     #: max/mean of per-node (assigned / cores) — 1.0 is a perfectly
     #: width-proportional assignment.  Elastic fleets (non-empty
@@ -90,7 +103,14 @@ class ClusterReport:
 
     @property
     def utilization(self) -> float:
-        """Allocated core-seconds over provisioned core-seconds."""
+        """Allocated core-seconds over provisioned core-seconds.
+
+        A single end-of-run ratio: low utilization says cores sat idle
+        but not *why* (admission gaps, drain tails, routing skew).  A
+        traced serve answers that — the Chrome export's per-node lanes
+        show the idle intervals directly, and ``summarize``'s
+        inter-block phase shows scheduler-induced idleness per query.
+        """
         if self.core_seconds_available <= 0.0:
             return 0.0
         return self.core_seconds_used / self.core_seconds_available
@@ -152,7 +172,8 @@ def rollup(offered: list[Query],
         if engine is not None:
             core_seconds_used += engine.metrics.usage_core_seconds
         node_reports.append(NodeReport(
-            name=node.spec.name, cpu_name=node.spec.cpu.name,
+            name=node.spec.name, device_name=node.spec.device.name,
+            device_kind=getattr(node.spec, "device_kind", "cpu"),
             cores=node.cores, policy=node.spec.policy,
             assigned=node.assigned, completed=len(completed),
             satisfied=satisfied, report=report,

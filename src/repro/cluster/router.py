@@ -27,6 +27,15 @@ class Router:
 
     #: Registry name; subclasses override.
     name = "base"
+    #: Telemetry sink, set by :meth:`Cluster.serve` for traced serves.
+    #: Score-based routers check it and publish their per-node scores
+    #: through :attr:`last_scores`; the routing decision itself is
+    #: identical with or without it.
+    tracer = None
+    #: Per-node scores of the most recent :meth:`choose`, published only
+    #: when :attr:`tracer` is set (the fleet driver folds them into the
+    #: ``route`` event and clears the attribute).
+    last_scores: dict | None = None
 
     def choose(self, nodes, query, now: float):
         """Return the node (from ``nodes``) that should serve ``query``."""
@@ -137,7 +146,13 @@ class PressureAwareRouter(Router):
                      + self.queue_weight * depth)
             return (value, node.index)
 
-        return min(nodes, key=score)
+        if self.tracer is None:
+            return min(nodes, key=score)
+        scored = [(score(node), node) for node in nodes]
+        best = min(scored, key=lambda entry: entry[0])
+        self.last_scores = {node.spec.name: value
+                            for (value, _), node in scored}
+        return best[1]
 
 
 class DeviceAffinityRouter(PressureAwareRouter):
@@ -233,7 +248,13 @@ class DeviceAffinityRouter(PressureAwareRouter):
                      + self.queue_weight * depth)
             return (value, node.index)
 
-        return min(nodes, key=score)
+        if self.tracer is None:
+            return min(nodes, key=score)
+        scored = [(score(node), node) for node in nodes]
+        best = min(scored, key=lambda entry: entry[0])
+        self.last_scores = {node.spec.name: value
+                            for (value, _), node in scored}
+        return best[1]
 
 
 #: Router registry, mirroring the policy table of ``ServingStack``.

@@ -32,6 +32,13 @@ through a single callback, :meth:`Scheduler.schedule`.  A policy may
 additionally implement ``on_pressure_change(engine)``, which the engine
 calls after any repricing round that changed at least one block — the
 hook for invalidating pressure-derived planning caches.
+
+Telemetry: pass ``tracer=`` (a :class:`repro.telemetry.Tracer` or a
+node-scoped view) to record block spans, per-query lifecycle spans, and
+conflict/grow/arrival events.  The tracer is observational only — with
+the default ``tracer=None`` every emission site is one ``is not None``
+test and simulation results are bit-identical either way (the
+telemetry-overhead benchmark gates both properties).
 """
 
 from __future__ import annotations
@@ -109,7 +116,8 @@ class Engine:
                  soon_to_finish_threshold: float = 0.10,
                  price_cache: PricingCache | None = None,
                  incremental: bool = True,
-                 pressure_quantum: float = _PRESSURE_QUANTUM) -> None:
+                 pressure_quantum: float = _PRESSURE_QUANTUM,
+                 tracer=None) -> None:
         if not 0.0 < pressure_quantum <= 1.0:
             raise ValueError("pressure_quantum must be in (0, 1]")
         self.pressure_quantum = pressure_quantum
@@ -165,6 +173,9 @@ class Engine:
         #: Scheduler bound by :meth:`begin` (or :meth:`run`); the drive
         #: loop dispatches through it after every event.
         self._scheduler: Scheduler | None = None
+        #: Telemetry sink (``repro.telemetry`` Tracer/NodeTracer) or
+        #: None.  Never read by the simulation — observational only.
+        self.tracer = tracer
 
     # ------------------------------------------------------------------
     # pressure / introspection for schedulers
@@ -265,6 +276,11 @@ class Engine:
         if desired > cores:
             query.conflicts += 1
             self.metrics.conflicts += 1
+            if self.tracer is not None:
+                self.tracer.event(
+                    "conflict", self.now, cat="engine",
+                    qid=query.query_id,
+                    args={"desired": desired, "granted": cores})
         self._needs_pricing.add(task_id)
         self.colocation_epoch += 1
         self._dirty = True
@@ -286,6 +302,11 @@ class Engine:
         block.pressure = self._block_pressure(block)
         self._pressure_sum += block.pressure
         self.metrics.grows += 1
+        if self.tracer is not None:
+            self.tracer.event(
+                "grow", self.now, cat="engine",
+                qid=block.query.query_id,
+                args={"extra": extra_cores, "cores": block.cores})
         self._needs_pricing.add(task_id)
         self.colocation_epoch += 1
         self._dirty = True
@@ -419,6 +440,12 @@ class Engine:
         self._dirty = False
         if changed:
             self.pressure_epoch += 1
+            if self.tracer is not None:
+                self.tracer.counter(
+                    "engine", self.now,
+                    {"pressure": min(1.0, max(0.0, self._pressure_sum)),
+                     "running": len(self.running),
+                     "queued": self.queued})
             hook = getattr(scheduler, "on_pressure_change", None)
             if hook is not None:
                 hook(self)
@@ -452,13 +479,60 @@ class Engine:
         self._access_sum -= block.access_lines_per_s
         query = block.query
         query.next_layer = block.stop_layer
+        if self.tracer is not None:
+            self._trace_block(block)
         if query.done:
             query.finished_s = self.now
             self.completed.append(query)
+            if self.tracer is not None:
+                self._trace_completion(query)
         else:
             self.ready.append(query)
         self.colocation_epoch += 1
         self._dirty = True
+
+    def _trace_block(self, block: RunningBlock) -> None:
+        """Emit the closed block span (tracing enabled only).
+
+        ``iso_s`` is the block's isolated (zero-pressure) duration — it
+        goes through the shared price cache, so the lookup is a pure
+        function of the block key and never perturbs the simulation —
+        letting summarize recover the interference stall per block as
+        ``dur - iso_s``.
+        """
+        query = block.query
+        args = {
+            "layers": [block.start_layer, block.stop_layer],
+            "cores": block.cores,
+            "iso_s": self._price_block(block, 0.0)[0],
+        }
+        if block.had_conflict:
+            args["conflict"] = True
+        self.tracer.span(
+            f"{query.model.name}[{block.start_layer}:{block.stop_layer})",
+            block.started_s, self.now - block.started_s, cat="block",
+            qid=query.query_id, args=args)
+
+    def _trace_completion(self, query: Query) -> None:
+        """Emit the queue phase + lifecycle span at query completion.
+
+        The query span's duration is stored as the exact float
+        ``finished_s - arrival_s`` — the same value
+        ``ServingReport.summarize`` averages — so a saved trace
+        reproduces the report's mean latency bit for bit.
+        """
+        started = (query.started_s if query.started_s is not None
+                   else query.arrival_s)
+        self.tracer.span("queue", query.arrival_s,
+                         started - query.arrival_s, cat="phase",
+                         qid=query.query_id)
+        self.tracer.span(
+            query.model.name, query.arrival_s,
+            query.finished_s - query.arrival_s, cat="query",
+            qid=query.query_id,
+            args={"satisfied": query.satisfied, "qos_s": query.qos_s,
+                  "blocks": query.blocks, "conflicts": query.conflicts,
+                  "grows": query.grows})
 
     # ------------------------------------------------------------------
     # main loop
@@ -576,6 +650,9 @@ class Engine:
             self._advance(time)
             if kind == "arrival":
                 self.waiting.append(payload)
+                if self.tracer is not None:
+                    self.tracer.event("arrival", time, cat="engine",
+                                      qid=payload.query_id)
                 self._feed_arrival()
             else:
                 self._finish_block(block)

@@ -194,9 +194,33 @@ class SpatialScheduler:
                         * self.min_start_fraction):
                     break  # too few cores to be worth starting on
                 query = queue.popleft()
+                if engine.tracer is not None:
+                    self._trace_dispatch(engine, query, plan)
                 engine.start_block(query, plan.stop_layer, plan.take_cores,
                                    plan.versions,
                                    desired_cores=plan.desired_cores)
+
+    def _trace_dispatch(self, engine: Engine, query: Query,
+                        plan: BlockPlan) -> None:
+        """Record one dispatch decision (tracing enabled only).
+
+        Captures the plan (block boundary, demand vs grant, the picked
+        version's parallelism knob) and the pressure the policy planned
+        against — via ``planning_pressure`` when the policy maintains
+        one (a cached, side-effect-free read), else the engine's
+        planning-mode pressure.
+        """
+        pressure_fn = getattr(self, "planning_pressure", None)
+        pressure = (pressure_fn(engine) if pressure_fn is not None
+                    else engine.pressure(planning=True))
+        engine.tracer.event(
+            "dispatch", engine.now, cat="scheduler", qid=query.query_id,
+            args={"stop_layer": plan.stop_layer,
+                  "desired": plan.desired_cores,
+                  "granted": plan.take_cores,
+                  "pressure": pressure,
+                  "parallelism": (plan.versions[0].parallelism
+                                  if plan.versions else 0)})
 
     def _grow_conflicted(self, engine: Engine) -> None:
         """Hand freed cores to under-allocated blocks, oldest first."""

@@ -92,6 +92,12 @@ class GacerScheduler(SpatialScheduler):
         self.concurrency = min(self.max_concurrency,
                                max(self.min_concurrency,
                                    self.concurrency + self._direction))
+        if engine.tracer is not None:
+            engine.tracer.event(
+                "gacer.cap", engine.now, cat="scheduler",
+                args={"concurrency": self.concurrency,
+                      "direction": self._direction,
+                      "throughput_qps": rate})
 
     # -- planning ------------------------------------------------------------
 

@@ -78,6 +78,19 @@ def summarize(completed: list[Query], metrics: SimulationMetrics,
     )
 
 
+def _passes(report: ServingReport, target: float) -> bool:
+    """Whether one capacity probe counts as passing.
+
+    Invariant: a report with ``completed == 0`` never passes, whatever
+    the target.  An empty report already carries
+    ``satisfaction_rate=0.0``, which any target in the validated
+    ``(0, 1]`` range rejects — the explicit guard exists so a future
+    ``target=0`` misuse (or a relaxed validation) can never read an
+    idle horizon as serving capacity.
+    """
+    return report.completed > 0 and report.satisfaction_rate >= target
+
+
 def max_qps_at_satisfaction(
         run_at_qps: Callable[[float], ServingReport] | None = None,
         target: float = 0.95,
@@ -115,7 +128,7 @@ def max_qps_at_satisfaction(
         return [run_at_qps(point) for point in points]
 
     (low_report,) = evaluate([low_qps])
-    if low_report.satisfaction_rate < target:
+    if not _passes(low_report, target):
         return low_qps, low_report
     best_qps, best_report = low_qps, low_report
 
@@ -134,7 +147,7 @@ def max_qps_at_satisfaction(
             probe *= 2.0
         reports = evaluate(probes)
         for qps, report in zip(probes, reports):
-            if report.satisfaction_rate >= target:
+            if _passes(report, target):
                 best_qps, best_report = qps, report
             else:
                 first_fail = (qps, report)
@@ -158,7 +171,7 @@ def max_qps_at_satisfaction(
             points = [low + step * index for index in range(1, batch + 1)]
         reports = evaluate(points)
         for qps, report in zip(points, reports):
-            if report.satisfaction_rate >= target:
+            if _passes(report, target):
                 if qps > low:
                     low, best_qps, best_report = qps, qps, report
             else:

@@ -345,28 +345,36 @@ class ServingStack:
         raise ValueError(f"unknown policy {policy!r}; known: {POLICIES}")
 
     def run(self, policy: str, queries: list[Query],
-            incremental: bool = True) -> tuple[list[Query], Engine]:
+            incremental: bool = True,
+            tracer=None) -> tuple[list[Query], Engine]:
         """Simulate one query stream; returns (completed, engine).
 
         ``incremental=False`` forces the engine's legacy
         reprice-everything mode — useful only for A/B-verifying that the
         incremental hot path leaves results unchanged.
+
+        ``tracer`` (a :class:`repro.telemetry.Tracer`) records the run's
+        block spans, query lifecycle spans, and scheduler decisions; the
+        default ``None`` keeps telemetry off and free, and results are
+        bit-identical either way.
         """
         engine = Engine(self.cost_model, price_cache=self.price_cache,
-                        incremental=incremental)
+                        incremental=incremental, tracer=tracer)
         scheduler = self.make_scheduler(policy)
         completed = engine.run(queries, scheduler)
         return completed, engine
 
     def report(self, policy: str, spec: WorkloadSpec, qps: float,
                count: int, seed: int | None = None,
-               scenario=None) -> ServingReport:
+               scenario=None, tracer=None) -> ServingReport:
         """Generate a stream, simulate it, and summarise.
 
         The default stream is the paper's stationary Poisson; a
         ``scenario`` (:class:`repro.workloads.ScenarioSpec` or
         registered name) swaps in any trace-driven arrival shape at
-        mean rate ``qps``.
+        mean rate ``qps``.  ``tracer`` records the run (see :meth:`run`);
+        the saved trace's ``summarize`` reproduces this report's
+        ``average_latency_s`` exactly.
         """
         effective_seed = self.seed if seed is None else seed
         if scenario is not None:
@@ -376,7 +384,7 @@ class ServingStack:
         else:
             queries = poisson_queries(self.compiled, spec, qps, count,
                                       seed=effective_seed)
-        completed, engine = self.run(policy, queries)
+        completed, engine = self.run(policy, queries, tracer=tracer)
         return summarize(completed, engine.metrics, qps)
 
     # ------------------------------------------------------------------

@@ -1,0 +1,105 @@
+"""Trace CLI: ``python -m repro.telemetry <command> <trace.jsonl> ...``.
+
+Commands:
+
+``summarize``
+    Per-phase latency breakdown (queue / execute / inter-block /
+    interference-stall) plus headline metrics, overall and per
+    model/node.  ``average_latency_s`` is printed via ``repr`` and
+    reproduces the traced run's ``ServingReport.average_latency_s``
+    exactly (single-node traces) — the trace is self-sufficient.
+``export``
+    ``--format=chrome`` (default) writes trace-event JSON loadable in
+    Perfetto / ``chrome://tracing``; ``--format=prom`` writes a
+    Prometheus-style text snapshot.
+``diff``
+    Side-by-side metric/phase comparison of two traces.
+``validate``
+    Span-nesting well-formedness + Chrome-export schema check; exits
+    non-zero on errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.telemetry.analysis import (diff_summaries, render_summary,
+                                      summarize_trace, validate_trace)
+from repro.telemetry.export import (prometheus_text, save_chrome,
+                                    to_chrome, validate_chrome)
+from repro.telemetry.tracer import Trace
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry",
+        description="Inspect, export, and diff recorded serving traces.")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    summarize = commands.add_parser(
+        "summarize", help="per-phase latency breakdown of one trace")
+    summarize.add_argument("trace", type=Path)
+
+    export = commands.add_parser(
+        "export", help="convert a trace for external viewers")
+    export.add_argument("trace", type=Path)
+    export.add_argument("--format", choices=("chrome", "prom"),
+                        default="chrome")
+    export.add_argument("--out", type=Path, default=None,
+                        help="output path (default: alongside the trace)")
+
+    diff = commands.add_parser(
+        "diff", help="compare the summaries of two traces")
+    diff.add_argument("trace_a", type=Path)
+    diff.add_argument("trace_b", type=Path)
+
+    validate = commands.add_parser(
+        "validate", help="check span nesting and Chrome-export schema")
+    validate.add_argument("trace", type=Path)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    options = _build_parser().parse_args(argv)
+
+    if options.command == "summarize":
+        print(render_summary(summarize_trace(Trace.load(options.trace))))
+        return 0
+
+    if options.command == "export":
+        trace = Trace.load(options.trace)
+        if options.format == "chrome":
+            out = options.out or options.trace.with_suffix(".chrome.json")
+            save_chrome(trace, out)
+        else:
+            out = options.out or options.trace.with_suffix(".prom")
+            out.parent.mkdir(parents=True, exist_ok=True)
+            out.write_text(prometheus_text(trace))
+        print(out)
+        return 0
+
+    if options.command == "diff":
+        summary_a = summarize_trace(Trace.load(options.trace_a))
+        summary_b = summarize_trace(Trace.load(options.trace_b))
+        print(diff_summaries(summary_a, summary_b,
+                             label_a=options.trace_a.stem,
+                             label_b=options.trace_b.stem))
+        return 0
+
+    trace = Trace.load(options.trace)
+    errors = validate_trace(trace)
+    errors.extend(validate_chrome(to_chrome(trace)))
+    if errors:
+        for error in errors:
+            print(f"error: {error}", file=sys.stderr)
+        print(f"{len(errors)} error(s)", file=sys.stderr)
+        return 1
+    print(f"ok: {len(trace)} records, {len(trace.nodes)} node(s), "
+          f"span {trace.span_s:.3f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,266 @@
+"""Exporters: Chrome trace-event JSON (Perfetto) and Prometheus text.
+
+Chrome export maps the trace onto the trace-event format that Perfetto
+and ``chrome://tracing`` load directly:
+
+- one *process* per node (``pid`` = node index, named via ``M``
+  metadata events), so a fleet trace shows one track group per node;
+- block spans become complete (``"X"``) events laid out over *lanes*
+  (``tid``): a greedy interval-graph colouring assigns each block the
+  lowest lane that is free at its start, so concurrent blocks on a node
+  stack instead of overlap — the lanes approximate core occupancy;
+- query lifecycle spans become async (``"b"``/``"e"``) events keyed by
+  ``qid`` so Perfetto draws arrival → completion arcs above the lanes,
+  with the queue phase nested inside;
+- instant events (dispatch/conflict/route/admission/scale.*) become
+  ``"i"`` instants and counters become ``"C"`` counter tracks.
+
+Timestamps convert from simulated seconds to microseconds (the
+trace-event unit).  :func:`validate_chrome` checks the structural rules
+the format demands, which the round-trip tests assert.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.telemetry.tracer import COUNTER, EVENT, SPAN, Trace, TraceRecord
+
+_US = 1e6
+
+#: tid reserved for the async query-lifecycle track and instant events.
+_EVENT_LANE = 0
+
+_PHASES = frozenset({"X", "b", "e", "i", "C", "M"})
+
+
+def _assign_lanes(blocks: list[TraceRecord]) -> dict[int, int]:
+    """Greedy lane per block index: lowest lane free at the block's ts."""
+    lanes: dict[int, int] = {}
+    busy_until: list[float] = []  # lane -> end of the block occupying it
+    order = sorted(range(len(blocks)), key=lambda i: (blocks[i].ts,
+                                                      blocks[i].end))
+    for index in order:
+        block = blocks[index]
+        for lane, free_at in enumerate(busy_until):
+            if free_at <= block.ts + 1e-12:
+                busy_until[lane] = block.end
+                lanes[index] = lane
+                break
+        else:
+            busy_until.append(block.end)
+            lanes[index] = len(busy_until) - 1
+    return lanes
+
+
+def to_chrome(trace: Trace) -> dict:
+    """Render a trace as a Chrome trace-event JSON object."""
+    pids = {node: pid for pid, node in enumerate(trace.nodes)}
+    events: list[dict] = []
+    for node, pid in pids.items():
+        events.append({"ph": "M", "name": "process_name", "pid": pid,
+                       "tid": 0, "ts": 0,
+                       "args": {"name": node or "node"}})
+        events.append({"ph": "M", "name": "thread_name", "pid": pid,
+                       "tid": _EVENT_LANE, "ts": 0,
+                       "args": {"name": "events"}})
+
+    # Lane layout is per node: collect block spans, then colour.
+    blocks_by_node: dict[str, list[TraceRecord]] = {}
+    for record in trace.records:
+        if record.kind == SPAN and record.cat == "block":
+            blocks_by_node.setdefault(record.node, []).append(record)
+
+    named_lanes: set[tuple[int, int]] = set()
+    for node, blocks in blocks_by_node.items():
+        pid = pids[node]
+        lanes = _assign_lanes(blocks)
+        for index, block in enumerate(blocks):
+            tid = _EVENT_LANE + 1 + lanes[index]
+            if (pid, tid) not in named_lanes:
+                named_lanes.add((pid, tid))
+                events.append({"ph": "M", "name": "thread_name",
+                               "pid": pid, "tid": tid, "ts": 0,
+                               "args": {"name": f"lane {lanes[index]}"}})
+            entry = {"ph": "X", "name": block.name, "cat": "block",
+                     "pid": pid, "tid": tid, "ts": block.ts * _US,
+                     "dur": block.dur * _US, "args": dict(block.args)}
+            if block.qid is not None:
+                entry["args"]["qid"] = block.qid
+            events.append(entry)
+
+    for record in trace.records:
+        pid = pids[record.node]
+        if record.kind == SPAN and record.cat in ("query", "phase"):
+            if record.qid is None:
+                continue
+            base = {"cat": "query", "id": record.qid, "pid": pid,
+                    "tid": _EVENT_LANE}
+            name = (record.name if record.cat == "query"
+                    else f"{record.name} (queue)")
+            events.append({"ph": "b", "name": name,
+                           "ts": record.ts * _US, **base})
+            events.append({"ph": "e", "name": name,
+                           "ts": record.end * _US, **base})
+        elif record.kind == EVENT:
+            entry = {"ph": "i", "name": record.name,
+                     "cat": record.cat or "event", "pid": pid,
+                     "tid": _EVENT_LANE, "ts": record.ts * _US,
+                     "s": "p", "args": dict(record.args)}
+            if record.qid is not None:
+                entry["args"]["qid"] = record.qid
+            events.append(entry)
+        elif record.kind == COUNTER:
+            numeric = {key: value for key, value in record.args.items()
+                       if isinstance(value, (int, float))
+                       and not isinstance(value, bool)}
+            if numeric:
+                events.append({"ph": "C", "name": record.name, "pid": pid,
+                               "tid": _EVENT_LANE, "ts": record.ts * _US,
+                               "args": numeric})
+
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"schema": "repro.telemetry.chrome/1",
+                      "run_id": trace.run_id, **trace.meta},
+    }
+
+
+def validate_chrome(payload: dict) -> list[str]:
+    """Structural trace-event format errors (empty list = loadable)."""
+    errors: list[str] = []
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["payload has no traceEvents list"]
+    open_async: dict[tuple, int] = {}
+    for index, entry in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(entry, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        phase = entry.get("ph")
+        if phase not in _PHASES:
+            errors.append(f"{where}: unknown ph {phase!r}")
+            continue
+        if not isinstance(entry.get("name"), str) or not entry["name"]:
+            errors.append(f"{where}: missing name")
+        if not isinstance(entry.get("ts"), (int, float)):
+            errors.append(f"{where}: missing numeric ts")
+        for key in ("pid", "tid"):
+            if not isinstance(entry.get(key), int):
+                errors.append(f"{where}: missing integer {key}")
+        if phase == "X":
+            duration = entry.get("dur")
+            if not isinstance(duration, (int, float)) or duration < 0:
+                errors.append(f"{where}: X event needs dur >= 0")
+        elif phase in ("b", "e"):
+            if "id" not in entry:
+                errors.append(f"{where}: async event needs id")
+            else:
+                key = (entry.get("cat"), entry["id"], entry.get("name"))
+                if phase == "b":
+                    open_async[key] = open_async.get(key, 0) + 1
+                else:
+                    if open_async.get(key, 0) <= 0:
+                        errors.append(f"{where}: async end without begin")
+                    else:
+                        open_async[key] -= 1
+        elif phase == "M":
+            args = entry.get("args")
+            if not isinstance(args, dict) or "name" not in args:
+                errors.append(f"{where}: metadata needs args.name")
+        elif phase == "C":
+            args = entry.get("args")
+            if not isinstance(args, dict) or not args or any(
+                    not isinstance(value, (int, float))
+                    for value in args.values()):
+                errors.append(f"{where}: counter needs numeric args")
+    for key, count in open_async.items():
+        if count:
+            errors.append(f"async begin without end: {key!r} x{count}")
+    return errors
+
+
+def save_chrome(trace: Trace, path: str | Path) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(to_chrome(trace)))
+    return path
+
+
+# ---------------------------------------------------------------------------
+# Prometheus-style text snapshot
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def prometheus_text(trace: Trace) -> str:
+    """A Prometheus exposition-format snapshot of the trace's totals.
+
+    Gauges take the *last* recorded counter sample per (name, node);
+    totals count records.  This is a snapshot of a finished run, not a
+    live scrape endpoint — it exists so fleet dashboards and ad-hoc
+    ``promtool``-style diffing get the same numbers the trace holds.
+    """
+    lines: list[str] = []
+
+    def emit(metric: str, help_text: str, kind: str,
+             samples: list[tuple[dict, float]]) -> None:
+        if not samples:
+            return
+        lines.append(f"# HELP {metric} {help_text}")
+        lines.append(f"# TYPE {metric} {kind}")
+        for labels, value in samples:
+            if labels:
+                inner = ",".join(f'{key}="{_escape(str(val))}"'
+                                 for key, val in sorted(labels.items()))
+                lines.append(f"{metric}{{{inner}}} {value!r}")
+            else:
+                lines.append(f"{metric} {value!r}")
+
+    per_node_latency: dict[str, list[float]] = {}
+    span_counts: dict[tuple[str, str], int] = {}
+    event_counts: dict[tuple[str, str], int] = {}
+    gauges: dict[tuple[str, str, str], float] = {}
+    for record in trace.records:
+        if record.kind == SPAN:
+            span_counts[(record.cat, record.node)] = span_counts.get(
+                (record.cat, record.node), 0) + 1
+            if record.cat == "query":
+                per_node_latency.setdefault(record.node, []).append(
+                    record.dur)
+        elif record.kind == EVENT:
+            event_counts[(record.name, record.node)] = event_counts.get(
+                (record.name, record.node), 0) + 1
+        elif record.kind == COUNTER:
+            for key, value in record.args.items():
+                if isinstance(value, (int, float)) and not isinstance(
+                        value, bool):
+                    gauges[(record.name, key, record.node)] = float(value)
+
+    emit("repro_query_latency_seconds_sum",
+         "Sum of completed query latencies.", "counter",
+         [({"node": node} if node else {}, sum(vals))
+          for node, vals in sorted(per_node_latency.items())])
+    emit("repro_query_latency_seconds_count",
+         "Number of completed queries.", "counter",
+         [({"node": node} if node else {}, float(len(vals)))
+          for node, vals in sorted(per_node_latency.items())])
+    emit("repro_spans_total", "Recorded spans by category.", "counter",
+         [({"cat": cat, **({"node": node} if node else {})}, float(count))
+          for (cat, node), count in sorted(span_counts.items())])
+    emit("repro_events_total", "Recorded instant events by name.",
+         "counter",
+         [({"event": name, **({"node": node} if node else {})},
+           float(count))
+          for (name, node), count in sorted(event_counts.items())])
+    emit("repro_gauge_last", "Last sampled value per counter series.",
+         "gauge",
+         [({"series": series, "field": key,
+            **({"node": node} if node else {})}, value)
+          for (series, key, node), value in sorted(gauges.items())])
+    return "\n".join(lines) + "\n" if lines else ""

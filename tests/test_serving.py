@@ -118,6 +118,10 @@ class TestMaxQpsSearch:
     def test_bisection_finds_step(self):
         def run(qps):
             report = summarize([], SimulationMetrics(), qps)
+            # A passing probe must look like one: completed > 0.  A
+            # zero-completion report never passes, whatever its rate.
+            object.__setattr__(report, "completed",
+                               100 if qps <= 330 else 0)
             object.__setattr__(report, "satisfaction_rate",
                                1.0 if qps <= 330 else 0.0)
             return report
