@@ -194,7 +194,7 @@ def write_result(result: BenchResult,
         owned.append(table_path.name)
 
     manifest = _load_manifest(directory)
-    for stale in set(manifest.get(result.name, [])) - set(owned):
+    for stale in sorted(set(manifest.get(result.name, [])) - set(owned)):
         (directory / stale).unlink(missing_ok=True)
     manifest[result.name] = sorted(owned)
     _save_manifest(directory, manifest)

@@ -1,0 +1,74 @@
+"""Repo policy for the invariant checker: scopes and whitelists.
+
+Every rule applies everywhere by default; the exceptions live here, in
+one reviewable place, with the reason for each.  Tests construct their
+own :class:`CheckConfig` pointing at fixture trees, so none of these
+defaults is load-bearing for the engine itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class RuleScope:
+    """fnmatch include/exclude patterns over root-relative paths."""
+
+    include: tuple[str, ...] = ("**",)
+    exclude: tuple[str, ...] = ()
+
+
+#: Per-rule path policy.  Paths are repo-root-relative posix strings.
+DEFAULT_SCOPES: dict[str, RuleScope] = {
+    # Wall-clock reads are banned in simulation code: simulated time is
+    # the only clock results may depend on.  The whitelisted paths
+    # *measure* wall clock on purpose — the bench harness times suites
+    # (repro.bench), the compile CLI reports warm-up time
+    # (repro.compile), the worker pool guards fork timeouts
+    # (repro.parallel), and benchmarks/ is the timing harness itself.
+    "no-wallclock": RuleScope(exclude=(
+        "src/repro/bench/*",
+        "src/repro/compile.py",
+        "src/repro/parallel.py",
+        "benchmarks/*",
+    )),
+    # Telemetry must stay observational in the serving path; the
+    # telemetry package is the tracer's own implementation, and tests
+    # and benchmarks legitimately read tracer state to assert on it
+    # (PR 7's bit-identity ratchet is exactly such a read).
+    "tracer-observational": RuleScope(
+        include=("src/*",),
+        exclude=("src/repro/telemetry/*",)),
+    # Iteration order only affects figures in result-affecting library
+    # code; tests and benchmarks iterate for assertions and printing.
+    "deterministic-iteration": RuleScope(include=("src/*",)),
+}
+
+
+@dataclass(frozen=True)
+class CheckConfig:
+    """What the checker walks and how rules are scoped."""
+
+    #: Directories walked (root-relative) when no paths are given.
+    roots: tuple[str, ...] = ("src", "benchmarks", "tests")
+    #: Globally excluded paths.  The checker's test fixtures are
+    #: deliberate rule violations; walking them would be circular.
+    exclude: tuple[str, ...] = ("tests/checks_fixtures/*",)
+    #: Per-rule scope overrides; rules not named run everywhere.
+    scopes: dict[str, RuleScope] = field(
+        default_factory=lambda: dict(DEFAULT_SCOPES))
+    #: The committed frozen-key-schema snapshot (root-relative).
+    snapshot_path: str = "src/repro/checks/schema_snapshot.json"
+    #: Source files the frozen-key-schema rule reads (root-relative):
+    #: dataclass name -> file declaring it.
+    schema_classes: dict[str, str] = field(default_factory=lambda: {
+        "CpuSpec": "src/repro/hardware/platform.py",
+        "AcceleratorSpec": "src/repro/hardware/platform.py",
+        "CostModelParams": "src/repro/compiler/costmodel.py",
+    })
+    #: File declaring ``ARTIFACT_SCHEMA`` and ``compiler_context``.
+    artifacts_path: str = "src/repro/compiler/artifacts.py"
+
+    def scope(self, rule_name: str) -> RuleScope:
+        return self.scopes.get(rule_name, RuleScope())

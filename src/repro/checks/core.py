@@ -1,0 +1,367 @@
+"""Engine of the repro invariant checker.
+
+The checker is a zero-dependency ``ast``-based static-analysis pass
+with repo-specific rules: every invariant the reproduction's figures
+rest on — crc32-stable artifact keys, observational telemetry, seeded
+RNG flow, deterministic iteration, a frozen artifact-key schema — is
+machine-checked here the way the perf ratchet machine-checks speed.
+
+This module holds the machinery shared by every rule:
+
+* :class:`Finding` — one violation, sortable and JSON-serialisable.
+* :class:`SourceModule` — a parsed file (source, AST, parent links,
+  import-alias resolution) handed to each rule exactly once.
+* :class:`Rule` — the base class; per-file rules implement
+  ``check_module``, repo-level rules implement ``check_tree``.
+* Inline suppressions — ``# repro: ignore[rule] -- reason`` on the
+  flagged line (or alone on the line above) silences one rule there.
+  The reason is mandatory: a suppression without one is itself a
+  finding, and suppressions that no longer silence anything are
+  reported so they cannot rot in place.
+* :func:`run_checks` — walk, parse, dispatch, suppress, sort.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from fnmatch import fnmatch
+from pathlib import Path
+
+from repro.checks.config import CheckConfig
+
+#: Engine-level pseudo-rules (not registered, never scoped).
+PARSE_RULE = "parse-error"
+SUPPRESSION_RULE = "malformed-suppression"
+UNUSED_SUPPRESSION_RULE = "unused-suppression"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro:\s*ignore\[(?P<rules>[^\]]*)\]"
+    r"(?:\s*--\s*(?P<reason>\S.*))?")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str  #: repo-root-relative posix path
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def to_json(self) -> dict:
+        return {"rule": self.rule, "path": self.path, "line": self.line,
+                "col": self.col, "message": self.message}
+
+    def text(self) -> str:
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"{self.rule}: {self.message}")
+
+    def github(self) -> str:
+        """A GitHub Actions ``::error`` workflow annotation."""
+        message = self.message.replace("%", "%25").replace("\n", "%0A")
+        return (f"::error file={self.path},line={self.line},"
+                f"col={self.col},title=repro.checks[{self.rule}]"
+                f"::{message}")
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One parsed ``# repro: ignore[...]`` comment."""
+
+    line: int
+    rules: tuple[str, ...]
+    reason: str | None
+    #: True when the line holds nothing but the suppression comment,
+    #: in which case it silences findings on the *next* line.
+    standalone: bool
+
+
+class SourceModule:
+    """One parsed file plus the derived lookups every rule needs."""
+
+    def __init__(self, path: Path, rel: str, source: str) -> None:
+        self.path = path
+        self.rel = rel
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source)
+        #: child AST node -> parent AST node.
+        self.parents: dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self.parents[child] = parent
+        self.imports = _import_map(self.tree)
+
+    def finding(self, rule: str, node: ast.AST, message: str) -> Finding:
+        return Finding(path=self.rel, line=node.lineno,
+                       col=node.col_offset + 1, rule=rule, message=message)
+
+    def dotted(self, node: ast.AST) -> str | None:
+        """Resolve ``Name``/``Attribute`` chains to a qualified name.
+
+        Import aliases are substituted at the root — ``np.random.seed``
+        resolves to ``numpy.random.seed`` under ``import numpy as np``;
+        ``pc()`` resolves to ``time.perf_counter`` under
+        ``from time import perf_counter as pc``.  Returns ``None`` for
+        anything that is not a plain dotted chain (calls, subscripts).
+        """
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        root = self.imports.get(node.id, node.id)
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+    def imported_root(self, node: ast.AST) -> bool:
+        """True when a call chain's root name is an import binding.
+
+        Keeps a local variable that merely shares a module's name (a
+        value stored as ``time`` or ``random``) from tripping rules
+        that match qualified names.
+        """
+        while isinstance(node, ast.Attribute):
+            node = node.value
+        return isinstance(node, ast.Name) and node.id in self.imports
+
+    def is_builtin(self, name: str) -> bool:
+        """True when ``name`` still refers to the builtin in this file.
+
+        A module that imports, defines, or assigns the name has shadowed
+        the builtin; rules banning e.g. ``hash()`` must not fire there.
+        """
+        if name in self.imports:
+            return False
+        for node in ast.walk(self.tree):
+            if (isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.ClassDef))
+                    and node.name == name):
+                return False
+            if isinstance(node, ast.Name) and node.id == name and \
+                    isinstance(node.ctx, ast.Store):
+                return False
+        return True
+
+
+def _import_map(tree: ast.AST) -> dict[str, str]:
+    """Local binding name -> qualified module/object it refers to."""
+    names: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    names[alias.asname] = alias.name
+                else:
+                    # ``import a.b`` binds ``a`` (to package ``a``).
+                    top = alias.name.split(".")[0]
+                    names[top] = top
+        elif isinstance(node, ast.ImportFrom) and node.module and \
+                not node.level:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                names[alias.asname or alias.name] = \
+                    f"{node.module}.{alias.name}"
+    return names
+
+
+class Rule:
+    """Base class for checker rules.
+
+    Per-file rules override :meth:`check_module`; repo-level rules
+    (the frozen-key-schema diff) override :meth:`check_tree`.
+    """
+
+    name: str = ""
+    description: str = ""
+
+    def check_module(self, module: SourceModule,
+                     config: CheckConfig) -> list[Finding]:
+        return []
+
+    def check_tree(self, root: Path,
+                   config: CheckConfig) -> list[Finding]:
+        return []
+
+
+# ---------------------------------------------------------------------------
+# Suppressions
+
+
+def _comment_tokens(source: str) -> list[tuple[int, str, bool]]:
+    """(line, comment text, alone-on-line) for every real comment.
+
+    Tokenizing (rather than regex over raw lines) keeps docstrings and
+    string literals that merely *mention* the suppression syntax —
+    such as this package's own documentation — from parsing as
+    suppressions.
+    """
+    import io
+    import tokenize
+    comments = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                alone = token.line.strip().startswith("#")
+                comments.append((token.start[0], token.string, alone))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        pass  # unparseable files are reported via PARSE_RULE already
+    return comments
+
+
+def parse_suppressions(source: str) -> tuple[list[Suppression],
+                                             list[tuple[int, str]]]:
+    """All suppressions in a file, plus (line, message) malformations."""
+    found: list[Suppression] = []
+    malformed: list[tuple[int, str]] = []
+    for lineno, comment, alone in _comment_tokens(source):
+        match = _SUPPRESS_RE.search(comment)
+        if match is None:
+            if "repro: ignore" in comment:
+                malformed.append(
+                    (lineno, "unparseable suppression; write "
+                     "'# repro: ignore[rule] -- reason'"))
+            continue
+        rules = tuple(part.strip() for part in
+                      match.group("rules").split(",") if part.strip())
+        reason = match.group("reason")
+        if not rules:
+            malformed.append(
+                (lineno, "suppression names no rule; write "
+                 "'# repro: ignore[rule] -- reason'"))
+            continue
+        if reason is None:
+            malformed.append(
+                (lineno, "suppression is missing its reason; write "
+                 f"'# repro: ignore[{','.join(rules)}] -- reason'"))
+            continue
+        found.append(Suppression(line=lineno, rules=rules,
+                                 reason=reason, standalone=alone))
+    return found, malformed
+
+
+def apply_suppressions(rel: str, source: str,
+                       findings: list[Finding],
+                       report_unused: bool = True) -> list[Finding]:
+    """Drop suppressed findings; report malformed/unused suppressions."""
+    suppressions, malformed = parse_suppressions(source)
+    by_line: dict[tuple[int, str], Suppression] = {}
+    for sup in suppressions:
+        target = sup.line + 1 if sup.standalone else sup.line
+        for rule in sup.rules:
+            by_line[(target, rule)] = sup
+    used: set[tuple[int, tuple[str, ...]]] = set()
+    kept = []
+    for finding in findings:
+        sup = by_line.get((finding.line, finding.rule))
+        if sup is None:
+            kept.append(finding)
+        else:
+            used.add((sup.line, sup.rules))
+    for lineno, message in malformed:
+        kept.append(Finding(path=rel, line=lineno, col=1,
+                            rule=SUPPRESSION_RULE, message=message))
+    if report_unused:
+        for sup in suppressions:
+            if (sup.line, sup.rules) not in used:
+                kept.append(Finding(
+                    path=rel, line=sup.line, col=1,
+                    rule=UNUSED_SUPPRESSION_RULE,
+                    message=f"suppression for "
+                            f"[{','.join(sup.rules)}] matches no "
+                            f"finding; delete it"))
+    return kept
+
+
+# ---------------------------------------------------------------------------
+# Walking and dispatch
+
+
+def _matches(rel: str, patterns: tuple[str, ...]) -> bool:
+    return any(pat == "**" or fnmatch(rel, pat) for pat in patterns)
+
+
+def iter_python_files(root: Path, config: CheckConfig,
+                      paths: list[str] | None = None) -> list[tuple[Path,
+                                                                    str]]:
+    """(absolute path, root-relative posix path) pairs, sorted."""
+    candidates: list[Path] = []
+    if paths:
+        for entry in paths:
+            path = Path(entry)
+            if not path.is_absolute():
+                path = root / path
+            if path.is_dir():
+                candidates.extend(path.rglob("*.py"))
+            else:
+                candidates.append(path)
+    else:
+        for sub in config.roots:
+            base = root / sub
+            if base.is_dir():
+                candidates.extend(base.rglob("*.py"))
+    pairs = []
+    for path in candidates:
+        try:
+            rel = path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            rel = path.as_posix()
+        if _matches(rel, config.exclude):
+            continue
+        pairs.append((path, rel))
+    return sorted(set(pairs), key=lambda pair: pair[1])
+
+
+def run_checks(root: str | Path, config: CheckConfig | None = None,
+               rules: "list[Rule] | None" = None,
+               paths: list[str] | None = None) -> list[Finding]:
+    """Run every (selected) rule over the tree; return sorted findings.
+
+    ``paths`` restricts the per-file walk (repo-level rules still see
+    the whole tree).  Unused-suppression reporting is disabled when a
+    rule subset is selected — a suppression for an unselected rule is
+    not unused, merely unchecked this run.
+    """
+    from repro.checks import all_rules
+    root = Path(root)
+    if config is None:
+        config = CheckConfig()
+    active = list(rules) if rules is not None else list(all_rules())
+    full_rule_set = rules is None
+    findings: list[Finding] = []
+    for path, rel in iter_python_files(root, config, paths):
+        try:
+            source = path.read_text()
+        except OSError as exc:
+            findings.append(Finding(path=rel, line=1, col=1,
+                                    rule=PARSE_RULE,
+                                    message=f"unreadable: {exc}"))
+            continue
+        try:
+            module = SourceModule(path, rel, source)
+        except SyntaxError as exc:
+            findings.append(Finding(path=rel, line=exc.lineno or 1,
+                                    col=(exc.offset or 0) + 1,
+                                    rule=PARSE_RULE,
+                                    message=f"syntax error: {exc.msg}"))
+            continue
+        module_findings: list[Finding] = []
+        for rule in active:
+            scope = config.scope(rule.name)
+            if not _matches(rel, scope.include):
+                continue
+            if _matches(rel, scope.exclude):
+                continue
+            module_findings.extend(rule.check_module(module, config))
+        findings.extend(apply_suppressions(
+            rel, module.source, module_findings,
+            report_unused=full_rule_set))
+    for rule in active:
+        findings.extend(rule.check_tree(root, config))
+    return sorted(findings)

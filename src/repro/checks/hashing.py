@@ -1,0 +1,46 @@
+"""no-salted-hash: builtin ``hash()``/``id()`` are banned.
+
+``hash()`` of str/bytes/tuple values is salted by PYTHONHASHSEED, and
+``id()`` is an address — both differ across processes.  Anything built
+from them (artifact keys, search seeds, orderings) silently stops
+being reproducible; PR 1 fixed exactly this bug in the layer-search
+seeding.  Key and digest material must chain ``zlib.crc32`` (see
+``repro.compiler.artifacts._digest``).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.checks.config import CheckConfig
+from repro.checks.core import Finding, Rule, SourceModule
+
+_REMEDY = {
+    "hash": ("builtin hash() is PYTHONHASHSEED-salted for str/bytes/"
+             "tuple: keys, digests, seeds and orderings built from it "
+             "differ across processes; chain zlib.crc32 instead"),
+    "id": ("id() is a memory address and differs across runs; key on "
+           "stable identity (names, indices, crc32 digests) instead"),
+}
+
+
+class HashRule(Rule):
+    name = "no-salted-hash"
+    description = ("builtin hash()/id() banned — both are process-"
+                   "dependent; key/digest/ordering material must use "
+                   "zlib.crc32 or stable identifiers")
+
+    def check_module(self, module: SourceModule,
+                     config: CheckConfig) -> list[Finding]:
+        findings = []
+        shadowed = {name: not module.is_builtin(name)
+                    for name in _REMEDY}
+        for node in ast.walk(module.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)):
+                continue
+            name = node.func.id
+            if name in _REMEDY and not shadowed[name]:
+                findings.append(module.finding(
+                    self.name, node, _REMEDY[name]))
+        return findings

@@ -1,0 +1,131 @@
+"""deterministic-iteration: no order-sensitive walks of unordered data.
+
+Set iteration order depends on PYTHONHASHSEED for str keys, and
+``os.listdir``/``glob`` order depends on the filesystem; iterating
+either in result-affecting code makes figures differ across machines
+even when every computed value is identical.  The rule flags syntactic
+producers of unordered sequences — set displays/comprehensions,
+``set()``/``frozenset()`` calls (including set-algebra expressions
+over them), ``os.listdir``/``os.scandir``/``glob.*`` and
+``Path.glob``-style method calls — consumed in iteration order:
+``for`` targets, comprehension sources, ``list``/``tuple``/
+``enumerate``/``iter`` arguments, star-unpacking, ``str.join``.
+Consumption that is order-insensitive (``sorted``, ``len``, ``min``/
+``max``/``sum``/``any``/``all``, membership tests, re-wrapping into a
+set) is fine — ``sorted(...)`` is the canonical fix.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.checks.config import CheckConfig
+from repro.checks.core import Finding, Rule, SourceModule
+
+#: Qualified functions returning filesystem-ordered listings.
+FS_PRODUCERS = frozenset({
+    "os.listdir", "os.scandir", "glob.glob", "glob.iglob",
+})
+
+#: Method names (on any object) returning filesystem-ordered listings.
+FS_METHODS = frozenset({"glob", "rglob", "iterdir"})
+
+#: Order-insensitive consumers: wrapping the producer in any of these
+#: discharges the finding.
+SAFE_CONSUMERS = frozenset({
+    "sorted", "len", "min", "max", "sum", "any", "all", "bool",
+    "set", "frozenset",
+})
+
+#: Order-sensitive consumers that materialise iteration order.
+ORDERED_CONSUMERS = frozenset({"list", "tuple", "enumerate", "iter"})
+
+_SET_OPS = (ast.BitOr, ast.BitAnd, ast.BitXor, ast.Sub)
+
+
+class IterationRule(Rule):
+    name = "deterministic-iteration"
+    description = ("iterating sets, os.listdir or glob results in "
+                   "result-affecting code is order-nondeterministic; "
+                   "wrap in sorted() or dedupe with dict.fromkeys")
+
+    def check_module(self, module: SourceModule,
+                     config: CheckConfig) -> list[Finding]:
+        findings = []
+        flagged: set[tuple[int, int]] = set()
+        for node in ast.walk(module.tree):
+            kind = self._producer_kind(module, node)
+            if kind is None:
+                continue
+            outer, consumer = self._consumption(module, node)
+            if consumer is None:
+                continue
+            # ``set(a) - set(b)`` holds two producers; one finding.
+            position = (outer.lineno, outer.col_offset)
+            if position in flagged:
+                continue
+            flagged.add(position)
+            findings.append(module.finding(
+                self.name, node,
+                f"iteration over {kind} ({consumer}) has "
+                f"nondeterministic order; wrap in sorted(...) "
+                f"(or dict.fromkeys(...) for stable dedup)"))
+        return findings
+
+    # -- producers -----------------------------------------------------------
+
+    def _producer_kind(self, module: SourceModule,
+                       node: ast.AST) -> str | None:
+        """What unordered sequence ``node`` evaluates to, if any."""
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return "a set"
+        if isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Name):
+                name = node.func.id
+                if name in ("set", "frozenset") and \
+                        module.is_builtin(name):
+                    return f"a {name}()"
+            dotted = module.dotted(node.func)
+            if dotted in FS_PRODUCERS and module.imported_root(node.func):
+                return f"'{dotted}()' (filesystem order)"
+            if (isinstance(node.func, ast.Attribute)
+                    and node.func.attr in FS_METHODS):
+                return f"'.{node.func.attr}()' (filesystem order)"
+        return None
+
+    # -- consumers -----------------------------------------------------------
+
+    def _consumption(self, module: SourceModule, node: ast.AST,
+                     ) -> tuple[ast.AST, str | None]:
+        """Climb set-algebra parents; describe the eventual consumer.
+
+        Returns the outermost set-valued expression (for dedup) and a
+        consumer description — ``None`` when consumption is
+        order-insensitive or untracked.
+        """
+        expr = node
+        parent = module.parents.get(expr)
+        # ``set(a) - set(b)`` is still a set; classify the whole BinOp.
+        while (isinstance(parent, ast.BinOp)
+               and isinstance(parent.op, _SET_OPS)):
+            expr = parent
+            parent = module.parents.get(expr)
+        if parent is None:
+            return expr, None
+        if isinstance(parent, ast.Call) and expr in parent.args:
+            func = parent.func
+            if isinstance(func, ast.Name):
+                if func.id in SAFE_CONSUMERS:
+                    return expr, None
+                if func.id in ORDERED_CONSUMERS:
+                    return expr, f"materialised by {func.id}(...)"
+            if isinstance(func, ast.Attribute) and func.attr == "join":
+                return expr, "joined into a string"
+            return expr, None  # unknown callee: not provably ordered
+        if isinstance(parent, ast.For) and parent.iter is expr:
+            return expr, "for-loop source"
+        if isinstance(parent, ast.comprehension) and parent.iter is expr:
+            return expr, "comprehension source"
+        if isinstance(parent, ast.Starred):
+            return expr, "star-unpacked"
+        return expr, None

@@ -1,0 +1,62 @@
+"""seeded-rng-only: global-state RNG calls are banned.
+
+Every stochastic component draws from an explicit, seeded
+``np.random.Generator`` obtained via ``repro.config.make_rng`` /
+``spawn_rng`` (or passed in as a parameter).  The stdlib ``random``
+module and the legacy ``np.random.*`` module-level functions share
+hidden global state: one stray draw reorders every subsequent draw in
+the process and breaks bit-reproducibility fleet-wide.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.checks.config import CheckConfig
+from repro.checks.core import Finding, Rule, SourceModule
+
+#: ``numpy.random`` attributes that do *not* touch global state —
+#: constructors for explicit generators and seed plumbing.
+NUMPY_ALLOWED = frozenset({
+    "default_rng", "Generator", "SeedSequence", "BitGenerator",
+    "PCG64", "PCG64DXSM", "Philox", "SFC64", "MT19937",
+})
+
+#: stdlib ``random`` attributes that are explicit-instance
+#: constructors rather than global-state draws.  ``SystemRandom`` is
+#: deliberately not here: OS entropy is unseedable by construction.
+STDLIB_ALLOWED = frozenset({"Random"})
+
+
+class RngRule(Rule):
+    name = "seeded-rng-only"
+    description = ("module-level random.*/np.random.* global-state "
+                   "calls banned; draw from explicit Generators via "
+                   "repro.config.make_rng/spawn_rng")
+
+    def check_module(self, module: SourceModule,
+                     config: CheckConfig) -> list[Finding]:
+        findings = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = module.dotted(node.func)
+            if dotted is None or not module.imported_root(node.func):
+                continue
+            if dotted.startswith("random."):
+                attr = dotted.split(".", 1)[1]
+                if attr not in STDLIB_ALLOWED:
+                    findings.append(module.finding(
+                        self.name, node,
+                        f"'{dotted}()' draws from the stdlib's hidden "
+                        f"global RNG state; use an explicit seeded "
+                        f"generator from repro.config.make_rng"))
+            elif dotted.startswith("numpy.random."):
+                attr = dotted.split(".")[-1]
+                if attr not in NUMPY_ALLOWED:
+                    findings.append(module.finding(
+                        self.name, node,
+                        f"'{dotted}()' uses numpy's legacy global RNG "
+                        f"state; use repro.config.make_rng / "
+                        f"spawn_rng and pass the Generator explicitly"))
+        return findings

@@ -1,0 +1,328 @@
+"""frozen-key-schema: the artifact-key field schemas must not drift.
+
+The compiled-artifact store is addressed by ``compiler_context``:
+``dataclasses.asdict`` of the device spec and cost-model params plus
+the compiler knob list.  Adding, renaming, reordering or re-defaulting
+a field of :class:`CpuSpec`, :class:`AcceleratorSpec` or
+:class:`CostModelParams` — or changing the knob keys — changes every
+key, silently invalidating every warm store in CI caches and on
+developer machines, and (worse) can *collide* with old entries if
+``ARTIFACT_SCHEMA`` is not bumped alongside.
+
+This rule extracts the current schema from the source AST (no import
+of the checked code) and diffs it against the committed snapshot
+``schema_snapshot.json``.  Any drift fails with the bump procedure:
+
+1. bump ``ARTIFACT_SCHEMA`` in ``src/repro/compiler/artifacts.py``,
+2. regenerate the snapshot: ``python -m repro.checks
+   --update-schema``, and
+3. commit both together (plus refreshed benchmark baselines if the
+   change moves figures).
+
+``--update-schema`` refuses to rewrite the snapshot while
+``ARTIFACT_SCHEMA`` is unchanged, so step 1 cannot be skipped.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from pathlib import Path
+
+from repro.checks.config import CheckConfig
+from repro.checks.core import Finding, Rule
+
+#: Version of the snapshot file format itself.
+SNAPSHOT_SCHEMA = "repro.checks.keyschema/1"
+
+
+# ---------------------------------------------------------------------------
+# AST extraction (source-level: the checked code is never imported)
+
+
+def dataclass_fields(tree: ast.AST, class_name: str) -> list[dict] | None:
+    """Ordered ``{name, annotation, default}`` rows of one dataclass.
+
+    Only annotated assignments count — that is exactly the dataclass
+    field rule, so plain class attributes like ``kind = "cpu"`` stay
+    out of the schema just as they stay out of ``asdict``.
+    """
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.ClassDef)
+                and node.name == class_name):
+            continue
+        fields = []
+        for stmt in node.body:
+            if not (isinstance(stmt, ast.AnnAssign)
+                    and isinstance(stmt.target, ast.Name)):
+                continue
+            fields.append({
+                "name": stmt.target.id,
+                "annotation": ast.unparse(stmt.annotation),
+                "default": (ast.unparse(stmt.value)
+                            if stmt.value is not None else None),
+            })
+        return fields
+    return None
+
+
+def module_constant(tree: ast.AST, name: str) -> str | None:
+    """The string value of a module-level ``NAME = "literal"``."""
+    for node in tree.body if isinstance(tree, ast.Module) else []:
+        if (isinstance(node, ast.Assign)
+                and any(isinstance(t, ast.Name) and t.id == name
+                        for t in node.targets)
+                and isinstance(node.value, ast.Constant)
+                and isinstance(node.value.value, str)):
+            return node.value.value
+    return None
+
+
+def context_keys(tree: ast.AST) -> list[str] | None:
+    """Key strings ``compiler_context`` can emit, in source order.
+
+    Collects constant keys of dict literals assigned inside the
+    function plus ``context["..."] = ...`` subscript stores, so the
+    conditionally added ``device_kind`` key is part of the schema.
+    """
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.FunctionDef)
+                and node.name == "compiler_context"):
+            continue
+        keys: list[str] = []
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Dict):
+                for key in sub.keys:
+                    if isinstance(key, ast.Constant) and \
+                            isinstance(key.value, str):
+                        keys.append(key.value)
+            elif (isinstance(sub, ast.Subscript)
+                    and isinstance(sub.ctx, ast.Store)
+                    and isinstance(sub.slice, ast.Constant)
+                    and isinstance(sub.slice.value, str)):
+                keys.append(sub.slice.value)
+        return keys
+    return None
+
+
+def _class_line(tree: ast.AST, class_name: str) -> int:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == class_name:
+            return node.lineno
+    return 1
+
+
+def current_schema(root: Path, config: CheckConfig) -> tuple[dict,
+                                                             list[Finding]]:
+    """Extract the live key schema from the configured source files."""
+    problems: list[Finding] = []
+    trees: dict[str, ast.AST] = {}
+
+    def tree_for(rel: str) -> ast.AST | None:
+        if rel not in trees:
+            path = root / rel
+            try:
+                trees[rel] = ast.parse(path.read_text())
+            except (OSError, SyntaxError) as exc:
+                problems.append(Finding(
+                    path=rel, line=1, col=1, rule=SchemaRule.name,
+                    message=f"cannot read schema source: {exc}"))
+                trees[rel] = None
+        return trees[rel]
+
+    classes: dict[str, list[dict]] = {}
+    for class_name in sorted(config.schema_classes):
+        rel = config.schema_classes[class_name]
+        tree = tree_for(rel)
+        if tree is None:
+            continue
+        fields = dataclass_fields(tree, class_name)
+        if fields is None:
+            problems.append(Finding(
+                path=rel, line=1, col=1, rule=SchemaRule.name,
+                message=f"dataclass '{class_name}' not found; if it "
+                        f"moved, update repro.checks.config and "
+                        f"regenerate the snapshot"))
+            continue
+        classes[class_name] = fields
+
+    schema: dict = {"schema": SNAPSHOT_SCHEMA, "classes": classes}
+    tree = tree_for(config.artifacts_path)
+    if tree is not None:
+        artifact_schema = module_constant(tree, "ARTIFACT_SCHEMA")
+        keys = context_keys(tree)
+        if artifact_schema is None or keys is None:
+            problems.append(Finding(
+                path=config.artifacts_path, line=1, col=1,
+                rule=SchemaRule.name,
+                message="ARTIFACT_SCHEMA constant or compiler_context "
+                        "function not found; update "
+                        "repro.checks.config"))
+        else:
+            schema["artifact_schema"] = artifact_schema
+            schema["compiler_context"] = keys
+    return schema, problems
+
+
+# ---------------------------------------------------------------------------
+# The rule
+
+
+class SchemaRule(Rule):
+    name = "frozen-key-schema"
+    description = ("CpuSpec/AcceleratorSpec/CostModelParams fields "
+                   "and compiler_context keys are artifact-key "
+                   "material; drift against schema_snapshot.json "
+                   "fails until ARTIFACT_SCHEMA is bumped and the "
+                   "snapshot regenerated")
+
+    _PROCEDURE = ("bump ARTIFACT_SCHEMA in {artifacts}, then "
+                  "regenerate the snapshot with "
+                  "'python -m repro.checks --update-schema' and "
+                  "commit both together")
+
+    def check_tree(self, root: Path,
+                   config: CheckConfig) -> list[Finding]:
+        current, findings = self.findings_with_schema(root, config)
+        return findings
+
+    def findings_with_schema(self, root: Path, config: CheckConfig,
+                             ) -> tuple[dict, list[Finding]]:
+        current, findings = current_schema(root, config)
+        snapshot_rel = config.snapshot_path
+        snapshot_file = root / snapshot_rel
+        try:
+            snapshot = json.loads(snapshot_file.read_text())
+        except FileNotFoundError:
+            findings.append(Finding(
+                path=snapshot_rel, line=1, col=1, rule=self.name,
+                message="schema snapshot missing; generate it with "
+                        "'python -m repro.checks --update-schema'"))
+            return current, findings
+        except (OSError, ValueError) as exc:
+            findings.append(Finding(
+                path=snapshot_rel, line=1, col=1, rule=self.name,
+                message=f"schema snapshot unreadable ({exc}); "
+                        f"regenerate with --update-schema"))
+            return current, findings
+        if snapshot.get("schema") != SNAPSHOT_SCHEMA:
+            findings.append(Finding(
+                path=snapshot_rel, line=1, col=1, rule=self.name,
+                message=f"snapshot format "
+                        f"'{snapshot.get('schema')}' != expected "
+                        f"'{SNAPSHOT_SCHEMA}'; regenerate with "
+                        f"--update-schema"))
+            return current, findings
+
+        procedure = self._PROCEDURE.format(
+            artifacts=config.artifacts_path)
+        for class_name in sorted(set(current.get("classes", {}))
+                                 | set(snapshot.get("classes", {}))):
+            live = current.get("classes", {}).get(class_name)
+            frozen = snapshot.get("classes", {}).get(class_name)
+            if live == frozen:
+                continue
+            rel = config.schema_classes.get(class_name, snapshot_rel)
+            tree = None
+            try:
+                tree = ast.parse((root / rel).read_text())
+            except (OSError, SyntaxError):
+                pass
+            line = _class_line(tree, class_name) if tree else 1
+            findings.append(Finding(
+                path=rel, line=line, col=1, rule=self.name,
+                message=f"'{class_name}' field schema drifted from "
+                        f"the committed snapshot "
+                        f"({self._diff(frozen, live)}); these fields "
+                        f"are artifact-key material — {procedure}"))
+        if current.get("compiler_context") != \
+                snapshot.get("compiler_context"):
+            findings.append(Finding(
+                path=config.artifacts_path, line=1, col=1,
+                rule=self.name,
+                message=f"compiler_context key list drifted from the "
+                        f"snapshot ({self._diff_keys(snapshot, current)}"
+                        f"); {procedure}"))
+        if current.get("artifact_schema") != \
+                snapshot.get("artifact_schema"):
+            findings.append(Finding(
+                path=config.artifacts_path, line=1, col=1,
+                rule=self.name,
+                message=f"ARTIFACT_SCHEMA is "
+                        f"'{current.get('artifact_schema')}' but the "
+                        f"snapshot records "
+                        f"'{snapshot.get('artifact_schema')}'; "
+                        f"regenerate the snapshot with "
+                        f"--update-schema"))
+        return current, findings
+
+    @staticmethod
+    def _diff(frozen: list[dict] | None,
+              live: list[dict] | None) -> str:
+        if frozen is None:
+            return "class is new to the snapshot"
+        if live is None:
+            return "class removed from source"
+        frozen_names = [f["name"] for f in frozen]
+        live_names = [f["name"] for f in live]
+        added = [n for n in live_names if n not in frozen_names]
+        removed = [n for n in frozen_names if n not in live_names]
+        parts = []
+        if added:
+            parts.append(f"added: {', '.join(added)}")
+        if removed:
+            parts.append(f"removed: {', '.join(removed)}")
+        if not parts:
+            if frozen_names != live_names:
+                parts.append("fields reordered")
+            else:
+                parts.append("annotation or default changed")
+        return "; ".join(parts)
+
+    @staticmethod
+    def _diff_keys(snapshot: dict, current: dict) -> str:
+        frozen = snapshot.get("compiler_context") or []
+        live = current.get("compiler_context") or []
+        added = [k for k in live if k not in frozen]
+        removed = [k for k in frozen if k not in live]
+        parts = []
+        if added:
+            parts.append(f"added: {', '.join(added)}")
+        if removed:
+            parts.append(f"removed: {', '.join(removed)}")
+        return "; ".join(parts) or "keys reordered"
+
+
+def update_snapshot(root: Path, config: CheckConfig) -> tuple[bool, str]:
+    """Rewrite the snapshot from current sources; (ok, message).
+
+    Refuses when the key material changed but ``ARTIFACT_SCHEMA`` did
+    not: a snapshot refresh must always ride on a schema bump, or warm
+    stores would keep serving entries keyed by the old field set.
+    """
+    current, problems = current_schema(root, config)
+    if problems:
+        return False, "; ".join(f.message for f in problems)
+    snapshot_file = root / config.snapshot_path
+    try:
+        snapshot = json.loads(snapshot_file.read_text())
+    except (OSError, ValueError):
+        snapshot = None
+    if snapshot is not None:
+        material_changed = (
+            snapshot.get("classes") != current.get("classes")
+            or snapshot.get("compiler_context")
+            != current.get("compiler_context"))
+        schema_bumped = (snapshot.get("artifact_schema")
+                         != current.get("artifact_schema"))
+        if material_changed and not schema_bumped:
+            return False, (
+                "key material changed but ARTIFACT_SCHEMA is still "
+                f"'{current.get('artifact_schema')}'; bump it in "
+                f"{config.artifacts_path} first, then re-run "
+                "--update-schema")
+        if not material_changed and not schema_bumped:
+            return True, "snapshot already up to date"
+    snapshot_file.write_text(
+        json.dumps(current, indent=2, sort_keys=True) + "\n")
+    return True, f"snapshot written: {config.snapshot_path}"

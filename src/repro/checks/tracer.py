@@ -1,0 +1,162 @@
+"""tracer-observational: telemetry must never steer the simulation.
+
+PR 7's ratchet proves engine and cluster reports are bit-identical
+with tracing on and off; this rule makes the property structural
+rather than empirical.  Two checks:
+
+* **Guarded emission** — every ``tracer.<method>(...)`` call site (and
+  every call to a ``_trace*`` helper) must be guarded by a truthiness
+  or ``is not None`` check of the tracer, so the tracing-off path
+  never even evaluates the telemetry arguments.  Guards recognised:
+  an enclosing ``if``/ternary whose test mentions the tracer, an
+  ``and`` chain whose earlier operand mentions it, and the
+  early-return form (``if tracer is None: return`` guards the rest of
+  the block).  The bodies of ``_trace*``-named helpers are trusted —
+  they exist to keep emission out of the hot path — and in exchange
+  *calls* to them require the same guard.
+* **No state reads** — non-telemetry code must not read tracer
+  attributes (``tracer.records`` etc.) into control flow; the only
+  permitted uses of a tracer value are truthiness tests, method
+  calls under guard, and passing it along (``tracer=``/``bind``).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.checks.config import CheckConfig
+from repro.checks.core import Finding, Rule, SourceModule
+
+#: Local names treated as tracer values when they stand alone.
+TRACER_NAMES = frozenset({"tracer", "_tracer"})
+
+#: Helper-function name prefix trusted to emit telemetry unguarded.
+HELPER_PREFIX = "_trace"
+
+
+def _is_tracer_expr(node: ast.AST) -> bool:
+    """``tracer`` / ``self.tracer`` / ``engine.tracer`` and friends."""
+    if isinstance(node, ast.Name):
+        return node.id in TRACER_NAMES
+    if isinstance(node, ast.Attribute):
+        return node.attr in TRACER_NAMES
+    return False
+
+
+def _mentions_tracer(node: ast.AST) -> bool:
+    return any(_is_tracer_expr(sub) for sub in ast.walk(node))
+
+
+def _is_none_check(test: ast.AST) -> bool:
+    """``<tracer> is None`` or ``not <tracer>`` (the early-out form)."""
+    if (isinstance(test, ast.Compare) and len(test.ops) == 1
+            and isinstance(test.ops[0], ast.Is)
+            and _is_tracer_expr(test.left)
+            and isinstance(test.comparators[0], ast.Constant)
+            and test.comparators[0].value is None):
+        return True
+    return (isinstance(test, ast.UnaryOp)
+            and isinstance(test.op, ast.Not)
+            and _is_tracer_expr(test.operand))
+
+
+def _terminates(body: list[ast.stmt]) -> bool:
+    return bool(body) and isinstance(
+        body[-1], (ast.Return, ast.Raise, ast.Continue, ast.Break))
+
+
+class TracerRule(Rule):
+    name = "tracer-observational"
+    description = ("every tracer call site must be guarded by a "
+                   "tracer truthiness check, and non-telemetry code "
+                   "must not read tracer state into control flow")
+
+    def check_module(self, module: SourceModule,
+                     config: CheckConfig) -> list[Finding]:
+        findings: list[Finding] = []
+        self._visit_body(module, list(ast.iter_child_nodes(module.tree)),
+                         guarded=False, findings=findings)
+        return findings
+
+    # -- traversal -----------------------------------------------------------
+
+    def _visit_body(self, module: SourceModule, body: list[ast.AST],
+                    guarded: bool, findings: list[Finding]) -> None:
+        """Visit a statement sequence, tracking the guard context."""
+        for stmt in body:
+            self._visit(module, stmt, guarded, findings)
+            # ``if tracer is None: return`` guards everything after it.
+            if (isinstance(stmt, ast.If) and _is_none_check(stmt.test)
+                    and _terminates(stmt.body) and not stmt.orelse):
+                guarded = True
+
+    def _visit(self, module: SourceModule, node: ast.AST,
+               guarded: bool, findings: list[Finding]) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            inner = guarded or node.name.startswith(HELPER_PREFIX)
+            self._visit_body(module, node.body, inner, findings)
+            return
+        if isinstance(node, ast.ClassDef):
+            self._visit_body(module, node.body, guarded, findings)
+            return
+        if isinstance(node, ast.If):
+            body_guard = guarded or _mentions_tracer(node.test)
+            self._visit(module, node.test, guarded, findings)
+            self._visit_body(module, node.body, body_guard, findings)
+            self._visit_body(module, node.orelse, guarded, findings)
+            return
+        if isinstance(node, ast.IfExp):
+            self._visit(module, node.test, guarded, findings)
+            body_guard = guarded or _mentions_tracer(node.test)
+            self._visit(module, node.body, body_guard, findings)
+            self._visit(module, node.orelse, guarded, findings)
+            return
+        if isinstance(node, ast.BoolOp) and isinstance(node.op, ast.And):
+            seen_guard = guarded
+            for value in node.values:
+                self._visit(module, value, seen_guard, findings)
+                seen_guard = seen_guard or _mentions_tracer(value)
+            return
+        if isinstance(node, ast.Call):
+            self._check_call(module, node, guarded, findings)
+            for child in list(node.args) + [kw.value for kw in
+                                            node.keywords]:
+                self._visit(module, child, guarded, findings)
+            # Descend into the callee only past the tracer method hop,
+            # so the call's own attribute access is not double-flagged.
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                self._visit(module, func.value, guarded, findings)
+            elif not isinstance(func, ast.Name):
+                self._visit(module, func, guarded, findings)
+            return
+        if isinstance(node, ast.Attribute):
+            # Reading an attribute *of* a tracer outside a call is
+            # tracer state flowing into simulation logic.
+            if _is_tracer_expr(node.value):
+                findings.append(module.finding(
+                    self.name, node,
+                    f"tracer state read ('.{node.attr}') in "
+                    f"non-telemetry code; telemetry must be "
+                    f"observational — compute this from simulation "
+                    f"state instead"))
+            self._visit(module, node.value, guarded, findings)
+            return
+        for child in ast.iter_child_nodes(node):
+            self._visit(module, child, guarded, findings)
+
+    def _check_call(self, module: SourceModule, node: ast.Call,
+                    guarded: bool, findings: list[Finding]) -> None:
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        is_tracer_call = _is_tracer_expr(func.value)
+        is_helper_call = func.attr.startswith(HELPER_PREFIX)
+        if (is_tracer_call or is_helper_call) and not guarded:
+            what = (f"tracer call '.{func.attr}(...)'" if is_tracer_call
+                    else f"telemetry helper call '{func.attr}(...)'")
+            findings.append(module.finding(
+                self.name, node,
+                f"unguarded {what}; wrap in 'if <tracer> is not "
+                f"None:' so the tracing-off path never evaluates "
+                f"telemetry arguments"))

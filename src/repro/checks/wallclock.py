@@ -1,0 +1,50 @@
+"""no-wallclock: real-time clock reads are banned in simulation code.
+
+Every figure is a function of *simulated* time; a wall-clock read in
+library code either leaks nondeterminism into results or silently
+couples a simulation to host speed.  The paths that measure wall clock
+on purpose (the bench harness, the compile CLI, the fork pool) are
+whitelisted in :mod:`repro.checks.config`, not here.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.checks.config import CheckConfig
+from repro.checks.core import Finding, Rule, SourceModule
+
+#: Qualified callables that read the host's clock.
+BANNED_CLOCKS = frozenset({
+    "time.time", "time.time_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.process_time", "time.process_time_ns",
+    "time.thread_time", "time.thread_time_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+
+class WallclockRule(Rule):
+    name = "no-wallclock"
+    description = ("real-time clock reads (time.time/perf_counter/"
+                   "datetime.now/...) banned outside whitelisted "
+                   "timing paths; simulated time is the only clock "
+                   "results may depend on")
+
+    def check_module(self, module: SourceModule,
+                     config: CheckConfig) -> list[Finding]:
+        findings = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = module.dotted(node.func)
+            if dotted in BANNED_CLOCKS and module.imported_root(node.func):
+                findings.append(module.finding(
+                    self.name, node,
+                    f"wall-clock read '{dotted}()' in simulation "
+                    f"code; derive times from simulated clocks (or "
+                    f"whitelist this path in repro.checks.config if "
+                    f"it genuinely measures wall time)"))
+        return findings

@@ -74,7 +74,7 @@ def cluster_sweep_pool(stack: ServingStack, cluster_spec: ClusterSpec,
     # each rebuilding them privately.
     stack.ensure_compiled()
     for name in stack.model_names:
-        stack.profiles[name]
+        _ = stack.profiles[name]
     for device in cluster_spec.device_specs:
         stack.runtime_for(device)
     _CLUSTER_STATE = (stack, cluster_spec, router, admission, spec,
@@ -244,10 +244,13 @@ def sweep_autoscale(stack: ServingStack, static_spec: ClusterSpec,
         global _AUTOSCALE_STATE
         stack.ensure_compiled()
         for name in stack.model_names:
-            stack.profiles[name]
-        for device in set(initial_spec.device_specs
-                          + static_spec.device_specs
-                          + (policy.template.device,)):
+            _ = stack.profiles[name]
+        # dict.fromkeys, not set(): stable first-seen dedup order, so
+        # runtimes warm (and the stack's runtime map fills) in the same
+        # order every run regardless of PYTHONHASHSEED.
+        for device in dict.fromkeys(initial_spec.device_specs
+                                    + static_spec.device_specs
+                                    + (policy.template.device,)):
             stack.runtime_for(device)
         _AUTOSCALE_STATE = (stack, static_spec, initial_spec, policy,
                             router, admission, spec, count, seed)

@@ -78,6 +78,16 @@ def compiler_context(single_pass: SinglePassCompiler) -> dict:
     Covers the cost-model parameters, the CPU spec, every Alg. 1 knob,
     the evolutionary-search shape, and the seed — the key schema the
     store is addressed by.
+
+    This key schema is frozen: the ``frozen-key-schema`` static check
+    diffs the keys built here (and the fields of the spec dataclasses
+    they serialize) against ``src/repro/checks/schema_snapshot.json``.
+    Adding, removing, or reordering a key — or changing a spec field's
+    annotation or default — changes what stores address and silently
+    strands or revalidates warm entries, so the check fails until the
+    change is made deliberate: bump :data:`ARTIFACT_SCHEMA`, run
+    ``python -m repro.checks --update-schema``, and commit the
+    regenerated snapshot together with the code change.
     """
     cost_model = single_pass.cost_model
     scheduler = single_pass.scheduler

@@ -277,8 +277,9 @@ class SinglePassCompiler:
         """
         winners: dict = {}
         for level in self.levels:
-            best = min(qualified, key=lambda m: self.cost_model.latency(
-                layer, m.schedule, self.tuning_cores, level))
+            best = min(qualified,
+                       key=lambda m, level=level: self.cost_model.latency(
+                           layer, m.schedule, self.tuning_cores, level))
             winners.setdefault(best.schedule, best)
         return list(winners.values())
 

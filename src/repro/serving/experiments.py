@@ -105,9 +105,9 @@ def sweep_pool(stack: ServingStack, policy: str, spec: WorkloadSpec,
     # privately.  Only the proxy-driven policies pay the proxy fit.
     stack.ensure_compiled()
     for name in stack.model_names:
-        stack.profiles[name]
+        _ = stack.profiles[name]
     if policy in ("veltair_ac", "veltair_full"):
-        stack.proxy
+        _ = stack.proxy
     _SWEEP_STATE = (stack, policy, spec, count, seed, uniform, scenario)
     try:
         with fork_worker_pool(workers) as pool:

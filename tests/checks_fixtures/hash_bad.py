@@ -1,0 +1,8 @@
+"""Fixture: salted/process-dependent identity used as key material (3)."""
+
+
+def make_key(signature, node):
+    seed = hash(signature) & 0xFFFF
+    addr = id(node)
+    order = sorted(signature, key=lambda item: hash(item))
+    return seed, addr, order

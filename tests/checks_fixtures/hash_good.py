@@ -1,0 +1,15 @@
+"""Fixture: crc32 keys and shadowed hash() must not fire."""
+import zlib
+
+
+def hash(data):  # shadows the builtin: calls below are this function
+    return zlib.crc32(repr(data).encode())
+
+
+def make_key(signature):
+    return f"{hash(signature):08x}"
+
+
+class Entry:
+    def id(self):
+        return "stable-name"

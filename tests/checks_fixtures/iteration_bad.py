@@ -1,0 +1,14 @@
+"""Fixture: order-sensitive walks of unordered data (5 findings)."""
+import os
+from glob import iglob
+from pathlib import Path
+
+
+def walk(models, extra):
+    for name in set(models):  # for-loop over a set
+        yield name
+    rows = [n for n in {"a", "b"} | set(extra)]  # comprehension source
+    files = list(os.listdir("."))  # filesystem order materialised
+    stale = [p for p in iglob("*.json")]  # glob order
+    first = [*Path(".").glob("art_*.json")]  # star-unpacked Path.glob
+    return rows, files, stale, first

@@ -1,0 +1,17 @@
+"""Fixture: sorted/aggregated/membership consumption must not fire."""
+import os
+from pathlib import Path
+
+
+def walk(models, extra, manifest, owned):
+    for name in sorted(set(models)):
+        yield name
+    count = len(set(extra))
+    total = sum({1, 2, 3})
+    present = "a" in set(models)
+    files = sorted(os.listdir("."))
+    entries = sorted(Path(".").glob("art_*.json"))
+    for stale in sorted(set(manifest) - set(owned)):
+        present = present and stale
+    ordered = dict.fromkeys(models)
+    return count, total, present, files, entries, ordered

@@ -1,0 +1,12 @@
+"""Fixture: hidden global RNG state (4 findings)."""
+import random
+import numpy as np
+from random import shuffle
+
+
+def draw(items):
+    pick = random.choice(items)
+    shuffle(items)
+    np.random.seed(0)
+    noise = np.random.rand(4)
+    return pick, noise

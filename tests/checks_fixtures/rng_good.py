@@ -1,0 +1,12 @@
+"""Fixture: explicit seeded generators must not fire."""
+import numpy as np
+from repro.config import make_rng, spawn_rng
+
+
+def draw(seed, items):
+    rng = make_rng(seed)
+    child = spawn_rng(rng)
+    explicit = np.random.default_rng(seed)
+    pick = rng.choice(items)
+    noise = child.random() + explicit.random()
+    return pick, noise

@@ -1,0 +1,9 @@
+"""Fixture: real violations silenced by well-formed suppressions."""
+import time
+
+
+def measure():
+    start = time.time()  # repro: ignore[no-wallclock] -- fixture exercises same-line suppression
+    # repro: ignore[no-wallclock] -- fixture exercises line-above suppression
+    stop = time.time()
+    return stop - start

@@ -1,0 +1,8 @@
+"""Fixture: malformed and unused suppressions are themselves findings."""
+import time
+
+
+def measure():
+    start = time.time()  # repro: ignore[no-wallclock]
+    simulated = 4.0  # repro: ignore[no-wallclock] -- nothing to silence here
+    return start + simulated

@@ -1,0 +1,23 @@
+"""Fixture: unguarded emission and tracer state feedback (4 findings)."""
+
+
+class Engine:
+    def __init__(self, tracer=None):
+        self.tracer = tracer
+        self.now = 0.0
+
+    def start(self, qid):
+        self.tracer.event("start", self.now, qid=qid)  # unguarded
+
+    def finish(self, qid):
+        self._trace_finish(qid)  # helper call, unguarded
+
+    def _trace_finish(self, qid):
+        self.tracer.event("finish", self.now, qid=qid)  # ok: helper body
+
+    def steer(self):
+        # Telemetry feeding back into simulation control flow.
+        backlog = len(self.tracer.records)
+        if backlog > 10:
+            return "shed"
+        return self.tracer.records[0]

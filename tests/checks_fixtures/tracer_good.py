@@ -1,0 +1,33 @@
+"""Fixture: every guard form the serving path uses must pass clean."""
+
+
+class Engine:
+    def __init__(self, tracer=None):
+        self.tracer = tracer
+        self.now = 0.0
+
+    def start(self, qid):
+        if self.tracer is not None:
+            self.tracer.event("start", self.now, qid=qid)
+
+    def finish(self, qid):
+        if self.tracer is not None:
+            self._trace_finish(qid)
+
+    def _trace_finish(self, qid):
+        self.tracer.event("finish", self.now, qid=qid)
+
+    def tick(self, tracer):
+        tracer and tracer.counter("engine", self.now, {"tick": 1})
+        if tracer:
+            tracer.event("tick", self.now)
+
+    def early_out(self, tracer, qid):
+        if tracer is None:
+            return
+        tracer.event("late", self.now, qid=qid)
+
+
+def make_node(spec, tracer=None):
+    return Engine(tracer=(tracer.bind(spec) if tracer is not None
+                          else None))

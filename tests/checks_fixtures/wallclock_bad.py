@@ -1,0 +1,12 @@
+"""Fixture: every statement below reads the host clock (4 findings)."""
+import time
+from datetime import datetime
+from time import perf_counter as pc
+
+
+def simulate():
+    start = time.time()
+    tick = pc()
+    stamp = datetime.now()
+    mono = time.monotonic_ns()
+    return start, tick, stamp, mono

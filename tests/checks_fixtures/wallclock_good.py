@@ -1,0 +1,14 @@
+"""Fixture: simulated clocks and shadowed names must not fire."""
+from datetime import timezone
+
+
+class _Clock:
+    def time(self):
+        return 0.0
+
+
+def simulate(engine):
+    time = _Clock()          # local name shadowing the module
+    now = engine.now         # simulated time
+    local = time.time()      # method on a local object, not the module
+    return now, local, timezone.utc

@@ -349,7 +349,7 @@ class TestServingStackStore:
                              trials=64, seed=7, use_proxy=False,
                              artifact_store=None)
         assert stack.compiler.stats.layers_total == 0
-        stack.compiled["mobilenet_v2"]
+        _ = stack.compiled["mobilenet_v2"]
         mobilenet_layers = len(get_model("mobilenet_v2").layers)
         assert stack.compiler.stats.layers_total == mobilenet_layers
         # Iteration forces the remainder in one batch.
@@ -376,7 +376,7 @@ class TestServingStackStore:
         # Membership probes must not compile as a side effect.
         assert stack.compiler.stats.layers_total == 0
         with pytest.raises(KeyError):
-            stack.compiled["bert_large"]
+            _ = stack.compiled["bert_large"]
         assert [name for name, _ in stack.compiled.items()] == [
             "mobilenet_v2"]
         assert stack.profiles["mobilenet_v2"].compiled is (
