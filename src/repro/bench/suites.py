@@ -13,6 +13,9 @@ Quick suite (what CI ratchets on, ``--quick``):
   CPU-only, device-affinity routing, accelerator scheduler A/B.
 * ``telemetry_overhead`` — null-tracer overhead bound, tracing on/off
   report bit-identity, summarize-reproduces-report exactness.
+* ``closed_loop``       — request model: closed-loop feedback under
+  shedding, accelerator dynamic batching >=1.3x goodput at
+  equal-or-better p99.
 
 Full suite adds every paper figure (``benchmarks/bench_fig*.py``, run
 through pytest; their ``record(...)`` calls write the JSON results).
@@ -385,6 +388,28 @@ register_benchmark(Benchmark(
         "null_overhead_pct": Tolerance(rel=0.0, abs=100.0),
     },
     default_tolerance=Tolerance(rel=0.30, abs=0.5)))
+register_benchmark(Benchmark(
+    name="closed_loop", kind="script", quick=True,
+    description="request model: closed-loop feedback under shedding; "
+                "accelerator dynamic batching >=1.3x goodput at "
+                "equal-or-better p99",
+    path="bench_closed_loop.py",
+    tolerances={
+        # The acceptance gates themselves: pass/fail, ratcheted exactly.
+        "closed_totals_ok": _EXACT,
+        "closed_shed_occurred_ok": _EXACT,
+        "closed_below_open_ok": _EXACT,
+        "closed_repeat_identical_ok": _EXACT,
+        "batch_ratio_ok": _EXACT,
+        "batch_p99_ok": _EXACT,
+        # Past-knee numbers are chaotic by design (the plain side is a
+        # collapsing queue); only the gates above are tight.
+        "batch_goodput_ratio": Tolerance(rel=0.80, abs=0.5),
+        "batch_plain_goodput_qps": Tolerance(rel=0.80, abs=200.0),
+        "batch_plain_sat": Tolerance(rel=0.80, abs=200.0),
+        "batch_plain_p99_ms": Tolerance(rel=0.80, abs=100.0),
+    },
+    default_tolerance=Tolerance(rel=0.30, abs=50.0)))
 register_benchmark(Benchmark(
     name="autoscale", kind="script", quick=True,
     description="elastic fleet vs static peak: QoS ratio and "

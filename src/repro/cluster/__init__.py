@@ -45,7 +45,16 @@ from repro.cluster.experiments import (
     sweep_cluster_qps,
 )
 from repro.cluster.fleet import Cluster, ClusterNode
-from repro.cluster.metrics import ClusterReport, NodeReport, rollup
+from repro.cluster.metrics import (
+    ClusterReport,
+    NodeReport,
+    PipelineRollup,
+    SessionReport,
+    StageReport,
+    pipeline_rollup,
+    rollup,
+    session_reports,
+)
 from repro.cluster.router import (
     ROUTERS,
     DeviceAffinityRouter,
@@ -77,6 +86,8 @@ __all__ = [
     "cluster_sweep_pool", "sweep_autoscale", "sweep_cluster_qps",
     "Cluster", "ClusterNode",
     "ClusterReport", "NodeReport", "rollup",
+    "PipelineRollup", "SessionReport", "StageReport",
+    "pipeline_rollup", "session_reports",
     "ROUTERS", "Router", "make_router",
     "RoundRobinRouter", "LeastOutstandingRouter",
     "JoinShortestQueueRouter", "PressureAwareRouter",

@@ -46,7 +46,12 @@ from repro.cluster.autoscale import (
     AutoscalePolicy,
     ScalingEvent,
 )
-from repro.cluster.metrics import ClusterReport, rollup
+from repro.cluster.metrics import (
+    ClusterReport,
+    pipeline_rollup,
+    rollup,
+    session_reports,
+)
 from repro.cluster.router import Router, make_router
 from repro.cluster.spec import ClusterSpec, NodeSpec
 from repro.interference.proxy import estimate_system_pressure
@@ -165,6 +170,15 @@ class Cluster:
         self.last_nodes: list[ClusterNode] | None = None
         #: The most recent serve's autoscale controller (tick signals).
         self.last_autoscale: AutoscaleController | None = None
+        #: Every stage-level query the most recent serve offered, with
+        #: realized arrival times — hand-offs and closed-loop follow-ups
+        #: included.  ``record_trace(cluster.last_offered, ...)``
+        #: captures a feedback-shaped stream for open-loop replay.
+        self.last_offered: list[Query] | None = None
+        #: Completion hook installed on node engines while a
+        #: request-model serve is in flight (None otherwise); kept on
+        #: the instance so autoscale-provisioned nodes get it too.
+        self._stream_hook = None
 
     def _build_nodes(self, tracer=None) -> list[ClusterNode]:
         return [ClusterNode(index, node_spec, self.stack,
@@ -188,6 +202,7 @@ class Cluster:
                         policy=self.autoscale.template.policy)
         node = ClusterNode(len(all_nodes), spec, self.stack,
                            incremental=self.incremental, tracer=tracer)
+        node.engine.on_complete = self._stream_hook
         node.state = WARMING
         node.provisioned_s = now
         all_nodes.append(node)
@@ -242,8 +257,46 @@ class Cluster:
         per-tick ``fleet.signals`` counters.  Observational only — the
         rollup is bit-identical with tracing on or off.
         """
+        return self._serve(queries, offered_qps=offered_qps, tracer=tracer)
+
+    def serve_stream(self, stream, offered_qps: float | None = None,
+                     tracer=None) -> ClusterReport:
+        """Serve a :class:`repro.workloads.RequestStream` fleet-wide.
+
+        The request-model twin of :meth:`serve`: pipeline stage *k+1*
+        is offered (through admission and routing, like any query) the
+        instant stage *k* completes; closed-loop tenants issue their
+        next request at each completion or shed.  A *deferred* pipeline
+        stage re-offers as usual; a *shed* stage fails the whole
+        pipeline's QoS and no later stage runs.  The returned report
+        carries :attr:`ClusterReport.pipelines` /
+        :attr:`ClusterReport.sessions` rollups.
+        """
+        initial: list[Query] = list(stream.queries)
+        # Stage queries key by (pipeline id, stage index) — unique per
+        # stage and stable across runs, unlike object identity.
+        stage_owner: dict[tuple[int, int], object] = {}
+        for pipeline in stream.pipelines:
+            first = pipeline.stages[0]
+            stage_owner[(first.query_id, first.stage)] = pipeline
+            initial.append(first)
+        for tenant in stream.tenants:
+            initial.extend(tenant.initial_requests())
+        return self._serve(initial, offered_qps=offered_qps, tracer=tracer,
+                           stream=stream, stage_owner=stage_owner)
+
+    def _serve(self, queries: list[Query],
+               offered_qps: float | None = None,
+               tracer=None, stream=None,
+               stage_owner: dict[tuple[int, int], object] | None = None
+               ) -> ClusterReport:
         if not queries:
             raise ValueError("cannot serve an empty stream")
+        interactive = stream is not None and stream.interactive
+        stage_owner = stage_owner if stage_owner is not None else {}
+        tenants_by_session = (
+            {tenant.session: tenant for tenant in stream.tenants}
+            if stream is not None else {})
         nodes = self._build_nodes(tracer)
         router = self._build_router()
         #: Score-based routers publish per-node scores when this is set.
@@ -276,14 +329,78 @@ class Cluster:
                                       key=lambda q: (q.arrival_s,
                                                      q.query_id))]
         heapq.heapify(events)
-        pending_offers = len(events)
+        #: Offers not yet resolved; a one-slot holder so the completion
+        #: hook below can add follow-up offers mid-flight.
+        pending = [len(events)]
+        #: Every stage-level query ever offered, in offer order.
+        offered_log = list(queries)
         if scaler is not None:
             heapq.heappush(events, (start_s + self.autoscale.tick_s,
                                     next(seq), _TICK, None))
         shed: list[Query] = []
         last_advance = float("-inf")
 
-        while events:
+        def offer(query: Query, at: float) -> None:
+            """Push a hook-generated offer into the serve heap."""
+            offered_log.append(query)
+            heapq.heappush(events, (at, next(seq), _OFFER, (0, query)))
+            pending[0] += 1
+
+        def stream_hook(engine: Engine, query: Query) -> None:
+            """Completion seam: pipeline hand-off + closed-loop issue.
+
+            Fires inside a node engine's drive loop; ``engine.now`` is
+            the completion instant.  New offers go through the *serve*
+            heap — admission and routing see them like any arrival.
+            """
+            owner = stage_owner.pop((query.query_id, query.stage), None) \
+                if query.stage is not None else None
+            if owner is not None:
+                owner.next_stage = query.stage + 1
+                if owner.next_stage >= len(owner.stages):
+                    owner.finished_s = engine.now
+                else:
+                    nxt = owner.stages[owner.next_stage]
+                    nxt.arrival_s = engine.now
+                    stage_owner[(nxt.query_id, nxt.stage)] = owner
+                    offer(nxt, engine.now)
+                return
+            if query.session is not None:
+                tenant = tenants_by_session.get(query.session)
+                if tenant is not None:
+                    tenant.observe(query)
+                    follow = tenant.next_request(engine.now)
+                    if follow is not None:
+                        offer(follow, follow.arrival_s)
+
+        self._stream_hook = stream_hook if interactive else None
+        if interactive:
+            for node in nodes:
+                node.engine.on_complete = stream_hook
+
+        while True:
+            if not events:
+                if not interactive:
+                    break
+                # Interactive tail: no offers in flight, but in-flight
+                # work may still complete and (via the hook) generate
+                # new ones.  Advance every live node to the earliest
+                # engine event, in global time order, and loop — done
+                # only when the fleet is truly idle.
+                times = [t for t in (node.engine.next_event_s()
+                                     for node in all_nodes
+                                     if node.state != RETIRED)
+                         if t is not None]
+                if not times:
+                    break
+                target = min(times)
+                for node in all_nodes:
+                    if node.state != RETIRED:
+                        node.engine.run_until(target)
+                if target > last_advance:
+                    last_advance = target
+                self._retire_drained(all_nodes, routable, timeline)
+                continue
             now, _, kind, payload = heapq.heappop(events)
             if now > last_advance:
                 # Advance once per distinct event time (re-offers and
@@ -296,7 +413,7 @@ class Cluster:
                 self._retire_drained(all_nodes, routable, timeline)
 
             if kind == _TICK:
-                if pending_offers > 0:
+                if pending[0] > 0:
                     self._autoscale_tick(scaler, all_nodes, routable,
                                          timeline, events, seq,
                                          auto_names, now, tracer=tracer)
@@ -315,7 +432,7 @@ class Cluster:
                     live_nodes=len(routable)))
                 continue
 
-            pending_offers -= 1
+            pending[0] -= 1
             attempts, query = payload
             if controller is not None:
                 decision = controller.decide(routable, query, attempts)
@@ -324,7 +441,7 @@ class Cluster:
                         events,
                         (now + controller.policy.defer_s, next(seq),
                          _OFFER, (attempts + 1, query)))
-                    pending_offers += 1
+                    pending[0] += 1
                     if tracer is not None:
                         tracer.event("admission.defer", now, cat="cluster",
                                      qid=query.query_id,
@@ -336,6 +453,29 @@ class Cluster:
                         tracer.event("admission.shed", now, cat="cluster",
                                      qid=query.query_id,
                                      args={"attempts": attempts})
+                    owner = (stage_owner.pop(
+                        (query.query_id, query.stage), None)
+                        if query.stage is not None else None)
+                    if owner is not None:
+                        # A shed stage fails the whole pipeline: no
+                        # later stage runs, its QoS counts as missed.
+                        owner.shed_stage = query.stage
+                        if tracer is not None:
+                            tracer.event(
+                                "pipeline.failed", now, cat="pipeline",
+                                qid=owner.pipeline_id,
+                                args={"stage": query.stage})
+                    elif query.session is not None:
+                        tenant = tenants_by_session.get(query.session)
+                        if tenant is not None:
+                            # Shedding hands control back to the tenant
+                            # too — its next request still issues, so a
+                            # shedding fleet sees reduced load, not a
+                            # frozen session.
+                            tenant.observe(query, shed=True)
+                            follow = tenant.next_request(now)
+                            if follow is not None:
+                                offer(follow, follow.arrival_s)
                     continue
             node = router.choose(routable, query, now)
             if tracer is not None:
@@ -355,12 +495,17 @@ class Cluster:
             node.engine.run_until(now)
 
         # Tail: finish in-flight work everywhere, then stamp lifecycle.
+        # An interactive serve already drained incrementally above (the
+        # hook needed completions in global time order), so these
+        # drains are no-ops there; the legacy per-node tail is kept
+        # verbatim for open-loop serves — bit-identical results.
         for node in all_nodes:
             if node.state != RETIRED:
                 node.engine.drain()
         self._retire_drained(all_nodes, routable, timeline)
+        self._stream_hook = None
         window_end = max(
-            [query.arrival_s for query in queries]
+            [query.arrival_s for query in offered_log]
             + [node.engine.completed[-1].finished_s
                for node in all_nodes if node.engine.completed])
         for node in all_nodes:
@@ -371,9 +516,9 @@ class Cluster:
             # Rate estimate from the stream itself: N queries span N-1
             # inter-arrival gaps.  A single query (or simultaneous
             # arrivals) has no measurable rate; 0.0 marks "unknown".
-            arrivals = [q.arrival_s for q in queries]
+            arrivals = [q.arrival_s for q in offered_log]
             span = max(arrivals) - min(arrivals)
-            offered_qps = ((len(queries) - 1) / span if span > 0
+            offered_qps = ((len(offered_log) - 1) / span if span > 0
                            else 0.0)
 
         # Per-node offered share of the fleet rate: a node's share is
@@ -413,14 +558,47 @@ class Cluster:
                         {field: getattr(signal, field)
                          for field in FLEET_SIGNAL_FIELDS})
 
+        if tracer is not None and stream is not None:
+            # Request-level spans, linked to their stage-level query
+            # spans by qid (stage queries carry the pipeline id; a
+            # tenant's queries carry its session-strided ids).
+            for pipeline in stream.pipelines:
+                end = (pipeline.finished_s
+                       if pipeline.finished_s is not None else window_end)
+                tracer.span(
+                    f"pipeline:{pipeline.spec.name}", pipeline.arrival_s,
+                    end - pipeline.arrival_s, cat="pipeline",
+                    qid=pipeline.pipeline_id,
+                    args={"stages": len(pipeline.stages),
+                          "satisfied": pipeline.satisfied,
+                          "failed": pipeline.failed})
+            for tenant in stream.tenants:
+                if not tenant.issued:
+                    continue
+                first = min(q.arrival_s for q in tenant.issued)
+                last = max((q.finished_s if q.finished_s is not None
+                            else q.arrival_s) for q in tenant.issued)
+                tracer.span(
+                    f"session:{tenant.session}", first, last - first,
+                    cat="session", qid=tenant.issued[0].query_id,
+                    args={"issued": len(tenant.issued),
+                          "completed": tenant.completed,
+                          "satisfied": tenant.satisfied,
+                          "shed": tenant.shed})
+
         self.last_nodes = all_nodes
         self.last_autoscale = scaler
+        self.last_offered = offered_log
         return rollup(
-            offered=list(queries), node_results=node_results, shed=shed,
+            offered=offered_log, node_results=node_results, shed=shed,
             deferrals=controller.deferrals if controller else 0,
             offered_qps=offered_qps, router=router.name,
             timeline=tuple(timeline), peak_live_nodes=peak_live,
-            window=(start_s, window_end))
+            window=(start_s, window_end),
+            pipelines=(pipeline_rollup(stream.pipelines)
+                       if stream is not None else None),
+            sessions=(session_reports(stream.tenants)
+                      if stream is not None else ()))
 
     def _autoscale_tick(self, scaler: AutoscaleController,
                         all_nodes: list[ClusterNode],

@@ -9,6 +9,7 @@ same raw queries, never re-estimated.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
@@ -44,11 +45,116 @@ class NodeReport:
     @property
     def cpu_name(self) -> str:
         """Deprecated alias for :attr:`device_name` (pre-hetero name)."""
+        warnings.warn(
+            "NodeReport.cpu_name is deprecated; use device_name",
+            DeprecationWarning, stacklevel=2)
         return self.device_name
 
     @property
     def satisfaction_rate(self) -> float:
         return self.satisfied / self.completed if self.completed else 0.0
+
+
+@dataclass(frozen=True)
+class StageReport:
+    """One pipeline stage's fleet-wide outcome (request-model serves)."""
+
+    stage: int
+    model: str
+    completed: int
+    shed: int
+    average_latency_s: float
+    p99_latency_s: float
+
+
+@dataclass(frozen=True)
+class PipelineRollup:
+    """Fleet-wide pipeline accounting: chains, not stages.
+
+    ``failed`` counts pipelines a shed stage killed — each is a whole
+    QoS violation regardless of how its other stages fared.  Per-stage
+    latencies in ``stages`` are measured from when the stage became
+    runnable (hand-off instant), so they expose *where* a chain's
+    budget goes.
+    """
+
+    offered: int
+    completed: int
+    satisfied: int
+    failed: int
+    p99_latency_s: float
+    stages: tuple[StageReport, ...]
+
+    @property
+    def satisfaction_rate(self) -> float:
+        return self.satisfied / self.offered if self.offered else 0.0
+
+
+@dataclass(frozen=True)
+class SessionReport:
+    """One closed-loop tenant's outcome over a serve."""
+
+    session: int
+    issued: int
+    completed: int
+    satisfied: int
+    shed: int
+    average_latency_s: float
+
+    @property
+    def satisfaction_rate(self) -> float:
+        return self.satisfied / self.issued if self.issued else 0.0
+
+
+def pipeline_rollup(pipelines) -> PipelineRollup | None:
+    """Fold :class:`~repro.workloads.PipelineQuery` outcomes fleet-wide."""
+    if not pipelines:
+        return None
+    stage_count = max(len(pl.stages) for pl in pipelines)
+    stage_reports = []
+    for index in range(stage_count):
+        latencies = []
+        shed = 0
+        model = ""
+        for pl in pipelines:
+            if index >= len(pl.stages):
+                continue
+            query = pl.stages[index]
+            model = query.model.name
+            if pl.shed_stage == index:
+                shed += 1
+            elif query.finished_s is not None:
+                latencies.append(query.finished_s - query.arrival_s)
+        stage_reports.append(StageReport(
+            stage=index, model=model, completed=len(latencies), shed=shed,
+            average_latency_s=(float(np.mean(latencies))
+                               if latencies else 0.0),
+            p99_latency_s=(float(np.percentile(latencies, 99))
+                           if latencies else 0.0)))
+    finished = [pl.latency_s for pl in pipelines if pl.finished_s is not None]
+    return PipelineRollup(
+        offered=len(pipelines),
+        completed=len(finished),
+        satisfied=sum(1 for pl in pipelines if pl.satisfied),
+        failed=sum(1 for pl in pipelines if pl.failed),
+        p99_latency_s=(float(np.percentile(finished, 99))
+                       if finished else 0.0),
+        stages=tuple(stage_reports))
+
+
+def session_reports(tenants) -> tuple[SessionReport, ...]:
+    """Per-tenant rollups from :class:`~repro.workloads.ClosedLoopTenant`."""
+    reports = []
+    for tenant in tenants:
+        latencies = [query.latency_s for query in tenant.issued
+                     if query.finished_s is not None]
+        reports.append(SessionReport(
+            session=tenant.session, issued=len(tenant.issued),
+            completed=tenant.completed, satisfied=tenant.satisfied,
+            shed=tenant.shed,
+            average_latency_s=(float(np.mean(latencies))
+                               if latencies else 0.0)))
+    return tuple(reports)
 
 
 @dataclass(frozen=True)
@@ -100,6 +206,10 @@ class ClusterReport:
     peak_live_nodes: int = 0
     #: Node lifecycle transitions, in order (empty for static fleets).
     scaling_timeline: tuple[ScalingEvent, ...] = ()
+    #: Request-model rollups (``serve_stream`` only): pipeline chains
+    #: and closed-loop sessions.  ``None``/empty for open-loop serves.
+    pipelines: PipelineRollup | None = None
+    sessions: tuple[SessionReport, ...] = ()
 
     @property
     def utilization(self) -> float:
@@ -139,7 +249,9 @@ def rollup(offered: list[Query],
            router: str,
            timeline: tuple[ScalingEvent, ...] = (),
            peak_live_nodes: int | None = None,
-           window: tuple[float, float] | None = None) -> ClusterReport:
+           window: tuple[float, float] | None = None,
+           pipelines: PipelineRollup | None = None,
+           sessions: tuple[SessionReport, ...] = ()) -> ClusterReport:
     """Fold per-node outcomes into one :class:`ClusterReport`.
 
     ``node_results`` is one ``(node, completed_queries, report)`` triple
@@ -251,4 +363,6 @@ def rollup(offered: list[Query],
         peak_live_nodes=(peak_live_nodes if peak_live_nodes is not None
                          else len(node_reports)),
         scaling_timeline=tuple(timeline),
+        pipelines=pipelines,
+        sessions=sessions,
     )

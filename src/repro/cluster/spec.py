@@ -10,6 +10,7 @@ pass owned by the :class:`ServingStack`.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 from repro.hardware.platform import (
@@ -113,6 +114,9 @@ class ClusterSpec:
     @property
     def cpu_specs(self) -> tuple[DeviceSpec, ...]:
         """Deprecated alias for :attr:`device_specs`."""
+        warnings.warn(
+            "ClusterSpec.cpu_specs is deprecated; use device_specs",
+            DeprecationWarning, stacklevel=2)
         return self.device_specs
 
 

@@ -311,6 +311,63 @@ class Elementwise(LayerSpec):
         return self.elements * FP32_BYTES
 
 
+@dataclass(frozen=True)
+class BatchedLayer(LayerSpec):
+    """``batch`` independent instances of ``base`` as one fused kernel.
+
+    The zoo is unit-batch (MLPerf server runs); when the runtime fuses a
+    dynamic batch of same-model queries into one block stream, each
+    layer's batch dim folds into the implicit-GEMM ``M`` (``batch``
+    times the rows — the standard batched-conv lowering), activation
+    traffic scales with the batch, and the *weight* tensor is shared —
+    the reuse that makes batching pay.  The compiled unit-batch
+    :class:`~repro.compiler.schedule.Schedule` versions stay valid
+    (tiles clip to the larger GEMM), so batching never recompiles.
+    """
+
+    base: LayerSpec
+    batch: int
+
+    def __post_init__(self) -> None:
+        if self.batch < 2:
+            raise ValueError(f"batch must be >= 2, got {self.batch}")
+        if isinstance(self.base, BatchedLayer):
+            raise ValueError("cannot batch an already-batched layer")
+
+    @property
+    def kind(self) -> str:
+        return self.base.kind
+
+    @property
+    def gemm(self) -> GemmShape:
+        g = self.base.gemm
+        return GemmShape(m=g.m * self.batch, n=g.n, k=g.k)
+
+    @property
+    def flops(self) -> int:
+        return self.base.flops * self.batch
+
+    @property
+    def input_bytes(self) -> int:
+        return self.base.input_bytes * self.batch
+
+    @property
+    def output_bytes(self) -> int:
+        return self.base.output_bytes * self.batch
+
+    @property
+    def weight_bytes(self) -> int:
+        return self.base.weight_bytes
+
+
+def batched(layer: LayerSpec, batch: int) -> LayerSpec:
+    """``layer`` at dynamic batch ``batch`` (identity for batch 1)."""
+    if batch <= 1:
+        return layer
+    return BatchedLayer(name=f"{layer.name}x{batch}", base=layer,
+                        batch=batch)
+
+
 #: Layer kinds that a preceding compute layer can absorb (epilogue fusion);
 #: mirrors the conv-relu / conv-batchnorm-relu patterns of paper Alg. 1.
 FUSABLE_KINDS = ("Elementwise",)

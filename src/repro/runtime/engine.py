@@ -51,9 +51,16 @@ from typing import Protocol
 
 from repro.compiler.costmodel import CostModel
 from repro.compiler.schedule import Schedule
+from repro.models.layers import batched
 from repro.runtime.allocator import CoreAllocator
 from repro.runtime.pricing import PricingCache
-from repro.runtime.tasks import Query, RunningBlock, block_duration
+from repro.runtime.tasks import (
+    BatchQuery,
+    Query,
+    RunningBlock,
+    block_duration,
+    fuse_batch,
+)
 
 #: Default pressure quantisation step.  Pricing happens at quantized
 #: pressure levels, so the step trades fidelity (worst-case pricing is a
@@ -74,6 +81,33 @@ class Scheduler(Protocol):
 
     def schedule(self, engine: "Engine") -> None:  # pragma: no cover
         ...
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """Engine-side dynamic batching of same-model queued queries.
+
+    A fresh arrival opens (or joins) a per-model batch group instead of
+    entering the scheduler's queue directly.  The group closes — fusing
+    its members into one :class:`~repro.runtime.tasks.BatchQuery` —
+    when it reaches ``max_batch`` members, or ``max_wait_s`` after its
+    first member arrived, whichever comes first.  A group that closes
+    with a single member releases the original query unwrapped, so
+    sparse traffic pays only the wait, never batched pricing.
+
+    The default everywhere is **no batching** (``batching=None`` on
+    :class:`Engine`), under which the arrival path is byte-for-byte the
+    pre-batching one.
+    """
+
+    max_batch: int = 4
+    max_wait_s: float = 0.002
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 2:
+            raise ValueError("max_batch must be >= 2")
+        if self.max_wait_s < 0.0:
+            raise ValueError("max_wait_s must be >= 0")
 
 
 @dataclass
@@ -117,7 +151,9 @@ class Engine:
                  price_cache: PricingCache | None = None,
                  incremental: bool = True,
                  pressure_quantum: float = _PRESSURE_QUANTUM,
-                 tracer=None) -> None:
+                 tracer=None,
+                 batching: BatchPolicy | None = None,
+                 on_complete=None) -> None:
         if not 0.0 < pressure_quantum <= 1.0:
             raise ValueError("pressure_quantum must be in (0, 1]")
         self.pressure_quantum = pressure_quantum
@@ -176,6 +212,22 @@ class Engine:
         #: Telemetry sink (``repro.telemetry`` Tracer/NodeTracer) or
         #: None.  Never read by the simulation — observational only.
         self.tracer = tracer
+        #: Dynamic batching policy, or None (the default) for the
+        #: legacy one-query-per-block-stream arrival path.
+        self.batching = batching
+        #: Completion-hook seam: ``on_complete(engine, query)`` fires
+        #: once per completed query, immediately after the query is
+        #: appended to :attr:`completed` (batch members individually).
+        #: The hook may :meth:`submit` follow-up work — the seam that
+        #: powers closed-loop tenants and pipeline stage hand-off.
+        #: ``None`` (the default) keeps the completion path untouched.
+        self.on_complete = on_complete
+        #: Open batch groups by model name, plus a per-model token that
+        #: invalidates the pending max-wait flush event once a group
+        #: closes early (lazy deletion, same idiom as finish events).
+        self._batch_pending: dict[str, list[Query]] = {}
+        self._batch_token: dict[str, int] = {}
+        self._batch_queued = 0
 
     # ------------------------------------------------------------------
     # pressure / introspection for schedulers
@@ -202,8 +254,12 @@ class Engine:
 
     @property
     def queued(self) -> int:
-        """Queries queued but not executing (waiting + ready)."""
-        return len(self.waiting) + len(self.ready)
+        """Queries queued but not executing.
+
+        Waiting + ready, plus queries parked in open batch groups (a
+        batched arrival is queued work even before its group closes).
+        """
+        return len(self.waiting) + len(self.ready) + self._batch_queued
 
     @property
     def outstanding(self) -> int:
@@ -317,8 +373,13 @@ class Engine:
 
     def _block_pressure(self, block: RunningBlock) -> float:
         """Duration-weighted pressure contribution of a block's layers."""
+        batch = block.query.batch
         key = ("pressure", block.query.model.name, block.start_layer,
                block.stop_layer, block.versions, block.cores)
+        if batch > 1:
+            # Appended only for fused batches so unbatched cache keys
+            # stay byte-identical to the pre-batching ones.
+            key = key + (batch,)
         cached = self.price_cache.get(key)
         if cached is not None:
             return cached
@@ -327,7 +388,7 @@ class Engine:
         weighted = 0.0
         for offset, index in enumerate(range(block.start_layer,
                                              block.stop_layer)):
-            layer = layers[index]
+            layer = batched(layers[index], batch)
             version = block.versions[offset]
             iso = self.cost_model.latency(layer, version, block.cores, 0.0)
             contribution = self.cost_model.pressure_contribution(
@@ -359,8 +420,11 @@ class Engine:
     def _price_block(self, block: RunningBlock,
                      pressure: float) -> tuple[float, float, float]:
         """(duration, miss lines/s, access lines/s) for a block execution."""
+        batch = block.query.batch
         key = (block.query.model.name, block.start_layer, block.stop_layer,
                block.versions, block.cores, pressure)
+        if batch > 1:
+            key = key + (batch,)
         cached = self.price_cache.get(key)
         if cached is not None:
             return cached
@@ -374,8 +438,8 @@ class Engine:
         for offset, index in enumerate(range(block.start_layer,
                                              block.stop_layer)):
             execution = self.cost_model.execution(
-                layers[index], block.versions[offset], block.cores,
-                pressure)
+                batched(layers[index], batch), block.versions[offset],
+                block.cores, pressure)
             misses += execution.dram_line_misses
             accesses += execution.llc_line_accesses
         priced = (duration, misses / duration, accesses / duration)
@@ -482,14 +546,90 @@ class Engine:
         if self.tracer is not None:
             self._trace_block(block)
         if query.done:
-            query.finished_s = self.now
-            self.completed.append(query)
-            if self.tracer is not None:
-                self._trace_completion(query)
+            if isinstance(query, BatchQuery):
+                self._complete_batch(query)
+            else:
+                query.finished_s = self.now
+                self.completed.append(query)
+                if self.tracer is not None:
+                    self._trace_completion(query)
+                if self.on_complete is not None:
+                    self.on_complete(self, query)
         else:
             self.ready.append(query)
         self.colocation_epoch += 1
         self._dirty = True
+
+    def _complete_batch(self, batch: BatchQuery) -> None:
+        """Attribute a fused batch's outcome back to every member.
+
+        Members land in :attr:`completed` individually (the wrapper
+        never does) with their own arrival/QoS intact, the shared
+        start/finish instants, and an equal share of the fused
+        ``core_seconds`` — so ServingReport/QoS accounting stays exact
+        over real requests.
+        """
+        batch.finished_s = self.now
+        share = batch.core_seconds / batch.batch
+        for member in batch.members:
+            member.started_s = batch.started_s
+            member.next_layer = len(member.model.layers)
+            member.finished_s = self.now
+            member.blocks = batch.blocks
+            member.conflicts = batch.conflicts
+            member.grows = batch.grows
+            member.core_seconds = share
+            self.completed.append(member)
+            if self.tracer is not None:
+                self._trace_completion(member)
+        if self.tracer is not None:
+            self.tracer.span(
+                f"batch:{batch.model.name}", batch.arrival_s,
+                self.now - batch.arrival_s, cat="batch",
+                qid=batch.query_id,
+                args={"size": batch.batch,
+                      "members": [m.query_id for m in batch.members]})
+        if self.on_complete is not None:
+            for member in batch.members:
+                self.on_complete(self, member)
+
+    def _batch_offer(self, query: Query) -> None:
+        """Park a fresh arrival in its model's open batch group.
+
+        The first member opens the group and arms a ``max_wait_s``
+        flush timer; reaching ``max_batch`` closes the group early (the
+        timer goes stale via the per-model token and is dropped lazily,
+        like superseded finish events).
+        """
+        name = query.model.name
+        group = self._batch_pending.get(name)
+        if group is None:
+            group = self._batch_pending[name] = []
+            token = self._batch_token.get(name, 0) + 1
+            self._batch_token[name] = token
+            self._push_event(self.now + self.batching.max_wait_s,
+                             "batch", (name, token))
+        group.append(query)
+        self._batch_queued += 1
+        if len(group) >= self.batching.max_batch:
+            self._batch_flush(name)
+
+    def _batch_flush(self, name: str) -> None:
+        """Close a batch group and hand its payload to the scheduler."""
+        group = self._batch_pending.pop(name)
+        self._batch_token[name] += 1  # invalidate any pending timer
+        self._batch_queued -= len(group)
+        if len(group) == 1:
+            # Sparse traffic: release the original query unwrapped, so
+            # it pays only the wait, never batched pricing.
+            self.waiting.append(group[0])
+            return
+        fused = fuse_batch(group)
+        self.waiting.append(fused)
+        if self.tracer is not None:
+            self.tracer.event(
+                "batch.close", self.now, cat="batch", qid=fused.query_id,
+                args={"model": name, "size": fused.batch})
 
     def _trace_block(self, block: RunningBlock) -> None:
         """Emit the closed block span (tracing enabled only).
@@ -614,9 +754,52 @@ class Engine:
         self._drive(horizon_s=until_s, resumable=True)
 
     def drain(self) -> list[Query]:
-        """Run the loop to completion; returns the completed queries."""
+        """Run the loop to completion; returns the completed queries.
+
+        Completion ordering contract (pinned by test, relied on by
+        ``on_complete`` consumers): :attr:`completed` is append-only in
+        simulation-time order — a query is appended at its finish
+        instant, with equal-time ties resolved in event order — and
+        ``on_complete`` fires immediately after each append, with
+        ``engine.now`` equal to that query's ``finished_s``.  Batch
+        members are appended (and hooked) individually, in member
+        order, at the fused block's finish.  The hook may
+        :meth:`submit` follow-up work; such arrivals are clamped to no
+        earlier than the completion instant, and the drain keeps
+        running until hook-generated work is exhausted too.
+        """
         self._drive(horizon_s=None, resumable=False)
         return self.completed
+
+    def next_event_s(self) -> float | None:
+        """Earliest live event time in this engine, or None when idle.
+
+        Pops stale finish events (and stale batch-flush timers) off the
+        heap top exactly as the drive loop would, so the answer is the
+        time :meth:`run_until` would next act at.  The cluster's
+        interactive tail drain uses this to advance all nodes in global
+        time order, keeping completion-hook hand-offs causally ordered
+        across nodes.
+        """
+        while self._events:
+            time, _, kind, payload = self._events[0]
+            if kind == "finish":
+                task_id, generation = payload
+                block = self.running.get(task_id)
+                if block is None or block.generation != generation:
+                    heapq.heappop(self._events)
+                    self._stale_finish -= 1
+                    self.metrics.stale_events_dropped += 1
+                    continue
+            elif kind == "batch":
+                name, token = payload
+                if self._batch_token.get(name) != token:
+                    heapq.heappop(self._events)
+                    continue
+            return time
+        if self._arrivals_pending:
+            return self._arrivals[self._arrival_cursor][0]
+        return None
 
     def _drive(self, horizon_s: float | None, resumable: bool) -> None:
         scheduler = self._scheduler
@@ -635,6 +818,10 @@ class Engine:
                     self._stale_finish -= 1
                     self.metrics.stale_events_dropped += 1
                     continue
+            elif kind == "batch":
+                name, token = payload
+                if self._batch_token.get(name) != token:
+                    continue  # group already closed early at max_batch
             if horizon_s is not None and time > horizon_s:
                 # Account the tail of the simulated window: without this
                 # advance, usage/last_event under-count everything after
@@ -649,11 +836,16 @@ class Engine:
                 return
             self._advance(time)
             if kind == "arrival":
-                self.waiting.append(payload)
+                if self.batching is not None and payload.next_layer == 0:
+                    self._batch_offer(payload)
+                else:
+                    self.waiting.append(payload)
                 if self.tracer is not None:
                     self.tracer.event("arrival", time, cat="engine",
                                       qid=payload.query_id)
                 self._feed_arrival()
+            elif kind == "batch":
+                self._batch_flush(payload[0])
             else:
                 self._finish_block(block)
             scheduler.schedule(self)

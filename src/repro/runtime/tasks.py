@@ -7,11 +7,23 @@ from dataclasses import dataclass
 from repro.compiler.costmodel import CostModel
 from repro.compiler.library import CompiledModel
 from repro.compiler.schedule import Schedule
+from repro.models.layers import batched
 
 
 @dataclass
 class Query:
-    """One inference request moving through the system."""
+    """One inference request moving through the system.
+
+    Beyond the open-loop basics, a query may carry request-model
+    context: ``session`` ties it to a closed-loop tenant
+    (:class:`repro.workloads.ClosedLoopTenant`), ``stage`` marks its
+    position in a pipeline chain
+    (:class:`repro.workloads.PipelineQuery`), and ``batch`` > 1 means
+    the engine fused several same-model queries into one block stream
+    (see :class:`BatchQuery`).  All three default to the plain
+    single-request lifecycle, which keeps every pre-existing
+    construction site and result unchanged.
+    """
 
     query_id: int
     model: CompiledModel
@@ -25,6 +37,12 @@ class Query:
     grows: int = 0
     blocks: int = 0
     core_seconds: float = 0.0
+    #: Closed-loop session (tenant) id, or None for open-loop queries.
+    session: int | None = None
+    #: Stage index within a pipeline chain, or None for plain queries.
+    stage: int | None = None
+    #: Dynamic batch size this query represents (1 = a single request).
+    batch: int = 1
 
     @property
     def deadline_s(self) -> float:
@@ -56,6 +74,11 @@ def block_duration(cost_model: CostModel, query: Query, start: int,
 
     One parallel-region spawn for the block, then each layer's kernel with
     its selected version, plus the fixed per-kernel launch cost.
+
+    A fused batch (``query.batch`` > 1) prices each layer at its
+    batch-folded GEMM shape (:func:`repro.models.layers.batched`) while
+    paying the spawn and per-kernel launch overheads *once* for the
+    whole batch — the amortisation that makes dynamic batching pay.
     """
     if not 0 <= start < stop <= len(query.model.layers):
         raise ValueError(f"bad block range [{start}, {stop})")
@@ -64,11 +87,46 @@ def block_duration(cost_model: CostModel, query: Query, start: int,
     launch = cost_model.launch_s
     total = cost_model.spawn_overhead(cores)
     graph_layers = query.model.graph.layers
+    batch = query.batch
     for offset, layer_index in enumerate(range(start, stop)):
-        layer = graph_layers[layer_index]
+        layer = batched(graph_layers[layer_index], batch)
         total += cost_model.latency(layer, versions[offset], cores,
                                     interference) + launch
     return total
+
+
+@dataclass
+class BatchQuery(Query):
+    """Several same-model queries fused into one block stream.
+
+    Built by the engine's dynamic batcher (:class:`BatchPolicy` on
+    :class:`~repro.runtime.engine.Engine`): the fused query executes the
+    model once at ``batch`` = ``len(members)`` — batch-folded layer
+    shapes, shared weights, one spawn/launch per kernel — and at
+    completion the engine attributes the outcome back to every member
+    (per-member ``finished_s``/``latency_s``, an equal share of the
+    fused ``core_seconds``), so ``ServingReport``/QoS accounting stays
+    exact over the *members*, never over the wrapper.  The wrapper's
+    deadline is the earliest member deadline, keeping urgency-driven
+    policies conservative.
+    """
+
+    members: tuple[Query, ...] = ()
+
+
+def fuse_batch(members: list[Query]) -> BatchQuery:
+    """Fuse queued same-model queries into one :class:`BatchQuery`."""
+    if len(members) < 2:
+        raise ValueError("a batch needs at least 2 members")
+    first = members[0]
+    names = {member.model.name for member in members}
+    if len(names) != 1:
+        raise ValueError(f"cannot fuse mixed models: {sorted(names)}")
+    deadline = min(member.deadline_s for member in members)
+    return BatchQuery(
+        query_id=first.query_id, model=first.model,
+        arrival_s=first.arrival_s, qos_s=deadline - first.arrival_s,
+        batch=len(members), members=tuple(members))
 
 
 @dataclass

@@ -13,12 +13,13 @@ and the code versions — which is exactly the design split of paper Fig. 8.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 
 from repro.compiler.costmodel import CostModel
 from repro.compiler.library import CompiledModel
 from repro.compiler.schedule import Schedule
+from repro.models.layers import batched
 from repro.runtime.engine import Engine
 from repro.runtime.tasks import Query, block_duration
 
@@ -83,14 +84,18 @@ def build_profile(cost_model: CostModel,
 
 
 def _model_required_cores(cost_model: CostModel, compiled: CompiledModel,
-                          versions: tuple[Schedule, ...]) -> int:
+                          versions: tuple[Schedule, ...],
+                          batch: int = 1) -> int:
     """Minimal fixed core count for the whole model to meet its QoS."""
     launch = cost_model.launch_s
-    target = compiled.qos_s * 0.85  # align with the layer-budget margin
+    # Align with the layer-budget margin; a batch-B unit owns B queries'
+    # worth of the deadline (see batch_profile).
+    target = compiled.qos_s * 0.85 * batch
+    layers = [batched(layer, batch) for layer in compiled.graph.layers]
 
     def model_latency(cores: int) -> float:
         total = cost_model.spawn_overhead(cores)
-        for layer, version in zip(compiled.graph.layers, versions):
+        for layer, version in zip(layers, versions):
             total += cost_model.latency(layer, version, cores, 0.0) + launch
         return total
 
@@ -103,6 +108,55 @@ def _model_required_cores(cost_model: CostModel, compiled: CompiledModel,
         if model_latency(candidate) <= target:
             return candidate
     return cores
+
+
+def batch_profile(cost_model: CostModel, profile: ModelProfile,
+                  batch: int) -> ModelProfile:
+    """Re-profile a model for fused batch-``batch`` execution.
+
+    A batch-B block carries B queries' service demand per layer, so its
+    planning budgets scale ``x B``: the planner targets the same
+    *per-query* throughput as B sequential unit blocks and grants a
+    similar (narrow, core-efficient) width — the batch's amortisation
+    (shared weight traffic, one spawn/launch stream instead of B) then
+    yields strictly cheaper core-seconds per query.  Without the budget
+    scaling a batch block would inherit single-query layer deadlines,
+    be forced to the machine-wide sync-tax regime, and *lose* capacity.
+    The flip side is honest too: a fused batch's end-to-end latency
+    approaches B unit services, so batching only satisfies QoS targets
+    slack enough to absorb it — exactly the throughput-for-latency
+    trade :class:`repro.runtime.engine.BatchPolicy` opts into.
+    Static versions and the compiled model are unchanged.
+    """
+    if batch <= 1:
+        return profile
+    compiled = profile.compiled
+    versions = profile.static_versions
+    launch = cost_model.launch_s
+    budgets = tuple(b * batch for b in profile.layer_budgets_s)
+    required = []
+    durations = []
+    for layer, version, budget in zip(compiled.graph.layers, versions,
+                                      budgets):
+        fat = batched(layer, batch)
+        cores = cost_model.required_cores(fat, version,
+                                          max(budget * 0.85 - launch, 1e-7))
+        if cores is None:
+            cores = cost_model.cpu.cores
+        required.append(cores)
+        durations.append(cost_model.latency(fat, version, cores, 0.0)
+                         + launch)
+    total_time = sum(durations)
+    weighted = sum(c * t for c, t in zip(required, durations))
+    return replace(
+        profile,
+        layer_budgets_s=budgets,
+        layer_required_cores=tuple(required),
+        avg_cores=max(1, round(weighted / total_time)),
+        model_cores=_model_required_cores(cost_model, compiled, versions,
+                                          batch=batch),
+        isolated_service_s=total_time,
+    )
 
 
 @dataclass(frozen=True)
@@ -146,6 +200,10 @@ class SpatialScheduler:
                  profiles: dict[str, ModelProfile]) -> None:
         self.cost_model = cost_model
         self.profiles = profiles
+        #: Batch-scaled profile variants, built on first use per
+        #: (model, batch) — fused batches are few and their sizes
+        #: bounded by ``BatchPolicy.max_batch``, so this stays tiny.
+        self._batch_profiles: dict[tuple[str, int], ModelProfile] = {}
         #: Repricing rounds that actually changed a block's rate, as
         #: reported by :meth:`on_pressure_change`.
         self.pressure_changes = 0
@@ -168,10 +226,18 @@ class SpatialScheduler:
 
     def profile_for(self, query: Query) -> ModelProfile:
         try:
-            return self.profiles[query.model.name]
+            profile = self.profiles[query.model.name]
         except KeyError:
             raise KeyError(f"no profile for model {query.model.name!r};"
                            " build_profile() it first") from None
+        if query.batch <= 1:
+            return profile
+        key = (query.model.name, query.batch)
+        scaled = self._batch_profiles.get(key)
+        if scaled is None:
+            scaled = batch_profile(self.cost_model, profile, query.batch)
+            self._batch_profiles[key] = scaled
+        return scaled
 
     # -- driver ---------------------------------------------------------------
 
@@ -213,14 +279,20 @@ class SpatialScheduler:
         pressure_fn = getattr(self, "planning_pressure", None)
         pressure = (pressure_fn(engine) if pressure_fn is not None
                     else engine.pressure(planning=True))
+        args = {"stop_layer": plan.stop_layer,
+                "desired": plan.desired_cores,
+                "granted": plan.take_cores,
+                "pressure": pressure,
+                "parallelism": (plan.versions[0].parallelism
+                                if plan.versions else 0)}
+        if query.batch > 1:
+            # Fused batch dispatch: size marks the block stream as
+            # carrying several member queries (args stay unchanged for
+            # plain queries, keeping pre-batching traces byte-stable).
+            args["batch"] = query.batch
         engine.tracer.event(
             "dispatch", engine.now, cat="scheduler", qid=query.query_id,
-            args={"stop_layer": plan.stop_layer,
-                  "desired": plan.desired_cores,
-                  "granted": plan.take_cores,
-                  "pressure": pressure,
-                  "parallelism": (plan.versions[0].parallelism
-                                  if plan.versions else 0)})
+            args=args)
 
     def _grow_conflicted(self, engine: Engine) -> None:
         """Hand freed cores to under-allocated blocks, oldest first."""

@@ -57,11 +57,13 @@ class ProportionalThresholdPolicy:
         if epoch != self._memo_epoch:
             self._memo_epoch = epoch
             self._memo.clear()
-        cached = self._memo.get(query.model.name)
+        memo_key = (query.model.name if query.batch <= 1
+                    else (query.model.name, query.batch))
+        cached = self._memo.get(memo_key)
         if cached is not None:
             return cached
         value = self._compute(scheduler, engine, query)
-        self._memo[query.model.name] = value
+        self._memo[memo_key] = value
         return value
 
     def _compute(self, scheduler: "DynamicBlockScheduler",
@@ -155,6 +157,10 @@ class DynamicBlockScheduler(SpatialScheduler):
         budget = (sum(profile.layer_budgets_s[start:stop])
                   * self.budget_headroom)
         key = (query.model.name, start, stop, versions, cap, pressure)
+        if query.batch > 1:
+            # Fused batches price against batch-folded layers; a longer
+            # tuple cannot collide with any unit-batch key.
+            key = key + (query.batch,)
         desired = self._block_req_cache.get(key)
         if desired is None:
             desired = block_required_cores(

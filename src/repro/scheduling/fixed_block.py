@@ -49,6 +49,8 @@ class FixedBlockScheduler(SpatialScheduler):
         versions = profile.static_versions[start:stop]
 
         key = (query.model.name, start, stop)
+        if query.batch > 1:
+            key = key + (query.batch,)
         desired = self._required_cache.get(key)
         if desired is None:
             budget = sum(profile.layer_budgets_s[start:stop])

@@ -119,6 +119,8 @@ class GacerScheduler(SpatialScheduler):
         # so regulation, not per-layer auctions, absorbs jitter.
         cap = max(1, self.cost_model.cpu.cores // self.concurrency)
         key = (query.model.name, start, stop, self.concurrency)
+        if query.batch > 1:
+            key = key + (query.batch,)
         desired = self._required_cache.get(key)
         if desired is None:
             budget = (sum(profile.layer_budgets_s[start:stop])

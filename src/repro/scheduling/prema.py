@@ -15,6 +15,7 @@ generally inferior to spatial sharing (Fig. 12).
 from __future__ import annotations
 
 from repro.compiler.costmodel import CostModel
+from repro.models.layers import batched
 from repro.runtime.engine import Engine
 from repro.runtime.tasks import Query
 from repro.scheduling.base import ModelProfile
@@ -50,7 +51,7 @@ class PremaScheduler:
         stop = query.next_layer
         layers = query.model.graph.layers
         while stop < len(layers) and elapsed < self.quantum_s:
-            layer = layers[stop]
+            layer = batched(layers[stop], query.batch)
             version = profile.static_versions[stop]
             elapsed += self.cost_model.latency(layer, version, cores, 0.0)
             stop += 1

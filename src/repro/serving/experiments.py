@@ -48,11 +48,24 @@ def _resolve_scenario(scenario):
     Thin lazy-import shim over
     :func:`repro.workloads.scenario.resolve_scenario` —
     ``repro.workloads`` sits above this module in the layering.
+
+    Request-model scenarios (``closed_loop``/``pipeline``) are rejected
+    up front: these open-loop sweep drivers pre-draw a fixed stream per
+    QPS point, which a completion-driven scenario cannot express — run
+    those through :meth:`ServingStack.run_stream
+    <repro.serving.server.ServingStack.run_stream>` or
+    :meth:`Cluster.serve_stream <repro.cluster.fleet.Cluster.serve_stream>`.
     """
     if scenario is None:
         return None
     from repro.workloads.scenario import resolve_scenario
-    return resolve_scenario(scenario)
+    resolved = resolve_scenario(scenario)
+    if resolved is not None and resolved.request_model:
+        raise ValueError(
+            f"scenario {resolved.name!r} uses the request model "
+            "(closed-loop/pipeline); open-loop sweeps cannot drive it — "
+            "use ServingStack.run_stream or Cluster.serve_stream")
+    return resolved
 
 
 def _run_point(stack: ServingStack, policy: str, spec: WorkloadSpec,

@@ -25,11 +25,19 @@ Every record is a :class:`TraceRecord` with a ``kind``:
     ``block`` (one engine block execution; ``args`` carries cores,
     layer range, version levels, conflict flag, and the isolated
     duration ``iso_s`` so interference stall is recoverable per block).
+    Request-model serves add ``batch`` (one fused batch, arrival of the
+    first member → completion, ``args`` lists member qids), ``pipeline``
+    (a chain's arrival → last-stage completion, ``qid`` = pipeline id,
+    shared with every stage query span), and ``session`` (a closed-loop
+    tenant's first issue → last outcome, with issue/outcome counts).
 ``event``
     An instant: ``arrival``, ``dispatch`` (scheduler decision, with
-    planning pressure), ``conflict``, ``grow``, ``gacer.cap``,
+    planning pressure; fused batches add their ``batch`` size),
+    ``conflict``, ``grow``, ``gacer.cap``,
     ``route`` (+ per-node scores), ``admission.shed`` /
-    ``admission.defer``, and ``scale.provision/join/drain/retire``.
+    ``admission.defer``, ``scale.provision/join/drain/retire``,
+    ``batch.close`` (a batch group fusing), and ``pipeline.failed``
+    (a shed stage killing its chain).
 ``counter``
     A named value set sampled at ``ts``: ``engine`` (pressure, running,
     queued after each repricing round) and ``fleet.signals`` (the

@@ -29,6 +29,14 @@ from repro.workloads.arrivals import (
     TraceArrivals,
     UniformArrivals,
 )
+from repro.workloads.requests import (
+    ClosedLoopSpec,
+    ClosedLoopTenant,
+    PipelineQuery,
+    PipelineSpec,
+    RequestStream,
+    build_pipeline,
+)
 from repro.workloads.scenario import (
     SCENARIO_NAMES,
     ScenarioSpec,
@@ -52,4 +60,6 @@ __all__ = [
     "resolve_scenario", "scenario_names", "default_scenario",
     "SCENARIO_NAMES",
     "ArrivalTrace", "record_trace", "TRACE_SCHEMA",
+    "ClosedLoopSpec", "ClosedLoopTenant", "PipelineQuery",
+    "PipelineSpec", "RequestStream", "build_pipeline",
 ]

@@ -24,6 +24,13 @@ from repro.compiler.library import CompiledModel
 from repro.models.registry import WORKLOAD_CLASSES, get_entry
 from repro.runtime.tasks import Query
 from repro.serving.workload import WorkloadSpec, full_mix
+from repro.workloads.requests import (
+    ClosedLoopSpec,
+    ClosedLoopTenant,
+    PipelineSpec,
+    RequestStream,
+    build_pipeline,
+)
 from repro.workloads.arrivals import (
     ArrivalProcess,
     DiurnalArrivals,
@@ -52,6 +59,11 @@ class ScenarioSpec:
     arrival: ArrivalProcess = field(default_factory=PoissonArrivals)
     workload: WorkloadSpec | None = None
     qos_scale: tuple[tuple[str, float], ...] = ()
+    #: Request-model extensions (PR 10).  A scenario with either set
+    #: emits a :class:`~repro.workloads.requests.RequestStream` via
+    #: :meth:`stream` instead of a flat query list.
+    pipeline: PipelineSpec | None = None
+    closed_loop: ClosedLoopSpec | None = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -90,6 +102,10 @@ class ScenarioSpec:
         """
         if count <= 0:
             raise ValueError("count must be positive")
+        if self.request_model:
+            raise ValueError(
+                f"scenario {self.name!r} uses the request model "
+                "(closed-loop/pipeline); draw it with stream()")
         workload = self.resolve_workload(spec)
         missing = [n for n in workload.models if n not in compiled]
         if missing:
@@ -109,6 +125,53 @@ class ScenarioSpec:
                 qos_s=self.qos_for(name),
             ))
         return queries
+
+    @property
+    def request_model(self) -> bool:
+        """True when this scenario needs completion-hook driving."""
+        return self.pipeline is not None or self.closed_loop is not None
+
+    def stream(self, compiled: Mapping[str, CompiledModel], qps: float,
+               count: int, seed: int | None = None,
+               spec: WorkloadSpec | None = None) -> RequestStream:
+        """Draw this scenario as a :class:`RequestStream`.
+
+        Open-loop scenarios come back as plain ``queries`` (the same
+        draw as :meth:`queries`); a ``closed_loop`` scenario yields
+        tenants with ``count`` split evenly across them (``qps`` is
+        ignored — a closed loop's offered rate is completion-driven);
+        a ``pipeline`` scenario yields ``count`` pipeline requests at
+        the arrival process's times, each stage budgeted by
+        :meth:`qos_for` times the pipeline's ``qos_scale``.
+        """
+        if count <= 0:
+            raise ValueError("count must be positive")
+        if self.closed_loop is not None:
+            loop = self.closed_loop
+            workload = self.resolve_workload(spec)
+            base, extra = divmod(count, loop.tenants)
+            tenants = []
+            for session in range(loop.tenants):
+                budget = base + (1 if session < extra else 0)
+                if budget <= 0:
+                    continue
+                tenants.append(ClosedLoopTenant(
+                    session=session, compiled=compiled, workload=workload,
+                    qos_for=self.qos_for, budget=budget,
+                    concurrency=loop.concurrency, think_s=loop.think_s,
+                    base_seed=seed))
+            return RequestStream(tenants=tenants)
+        if self.pipeline is not None:
+            rng = make_rng(seed)
+            arrivals = self.arrival.sample_times(qps, count, rng)
+            pipelines = [
+                build_pipeline(compiled, self.pipeline, pipeline_id=index,
+                               arrival_s=float(arrivals[index]),
+                               qos_for=self.qos_for)
+                for index in range(count)]
+            return RequestStream(pipelines=pipelines)
+        return RequestStream(
+            queries=self.queries(compiled, qps, count, seed=seed, spec=spec))
 
     def with_workload(self, workload: WorkloadSpec) -> "ScenarioSpec":
         """A copy of this scenario bundling ``workload``."""
@@ -197,5 +260,23 @@ register_scenario(ScenarioSpec(
                                    ("resnet50", 1.5),
                                    ("mobilenet_v2", 2.0))),
     qos_scale=(("heavy", 1.25),)))
+# Request-model scenarios (PR 10): draw with stream(), not queries().
+# Closed-loop agent sessions — six tenants, two requests in flight
+# each, a short think time; offered load is completion-driven, so a
+# saturated or shedding fleet sees *less* demand, not a growing queue.
+register_scenario(ScenarioSpec(
+    name="agent_loop",
+    closed_loop=ClosedLoopSpec(tenants=6, concurrency=2, think_s=0.005),
+    workload=WorkloadSpec(name="agent_mix",
+                          entries=(("mobilenet_v2", 2.0),
+                                   ("googlenet", 1.0),
+                                   ("resnet50", 1.0)))))
+# Detector → classifier chain: stage 1 is submitted when stage 0
+# completes; a shed stage fails the whole pipeline's QoS.
+register_scenario(ScenarioSpec(
+    name="vision_pipeline",
+    arrival=PoissonArrivals(),
+    pipeline=PipelineSpec(name="detect_classify",
+                          stages=("ssd_resnet34", "resnet50"))))
 
 SCENARIO_NAMES = tuple(scenario_names())

@@ -47,7 +47,8 @@ class TestClusterSpec:
         spec = homogeneous(3)
         assert len(spec) == 3
         assert spec.total_cores == 3 * 64
-        assert spec.cpu_specs == (THREADRIPPER_3990X,)
+        with pytest.warns(DeprecationWarning, match="cpu_specs"):
+            assert spec.cpu_specs == (THREADRIPPER_3990X,)
         with pytest.raises(ValueError):
             homogeneous(0)
 
@@ -55,8 +56,10 @@ class TestClusterSpec:
         spec = mixed_fleet()
         assert len(spec) == 4
         assert spec.total_cores == 64 + 64 + 256 + 32
-        assert set(spec.cpu_specs) == {THREADRIPPER_3990X,
-                                       PRODUCTION_SERVER_256, EDGE_NODE_32}
+        with pytest.warns(DeprecationWarning, match="cpu_specs"):
+            assert set(spec.cpu_specs) == {THREADRIPPER_3990X,
+                                           PRODUCTION_SERVER_256,
+                                           EDGE_NODE_32}
 
 
 class _StubEngine:

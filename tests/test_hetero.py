@@ -192,7 +192,8 @@ class TestClusterSpecs:
         specs = fleet.device_specs
         assert specs == (THREADRIPPER_3990X, DATACENTER_ACCEL_80,
                          EDGE_NODE_32)
-        assert fleet.cpu_specs == specs  # deprecated alias
+        with pytest.warns(DeprecationWarning, match="cpu_specs"):
+            assert fleet.cpu_specs == specs  # deprecated alias
 
     def test_duplicate_node_names_rejected(self):
         node = NodeSpec(name="dup", cpu=THREADRIPPER_3990X)
